@@ -1,0 +1,42 @@
+//! Posting-compression codec throughput: the CPU-cost component the
+//! paper attributes to "decompression of index data" (§2.4). One page
+//! is the paper's 404 entries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ir_index::{decode_postings, encode_postings};
+use ir_types::{frequency_order, Posting};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+fn page_postings(n: usize, seed: u64) -> Vec<Posting> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v: Vec<Posting> = (0..n)
+        .map(|_| {
+            // Frequency skew matching the corpus: ~96 % f=1.
+            let f = if rng.gen::<f64>() < 0.96 {
+                1
+            } else {
+                rng.gen_range(2..12)
+            };
+            Posting::new(rng.gen_range(0..200_000), f)
+        })
+        .collect();
+    v.sort_by(frequency_order);
+    v
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let postings = page_postings(404, 7);
+    let encoded = encode_postings(&postings);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Elements(postings.len() as u64));
+    g.bench_function("encode_404_entry_page", |b| {
+        b.iter(|| encode_postings(black_box(&postings)))
+    });
+    g.bench_function("decode_404_entry_page", |b| {
+        b.iter(|| decode_postings(black_box(encoded.clone())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! End-to-end query evaluation: Full vs DF vs BAF, cold and warm — the
+//! wall-clock view of the paper's disk-read results, plus one
+//! refinement-sequence cell from the Figures 5–8 grid.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_bench::TestBed;
+use ir_core::eval::{evaluate, EvalOptions};
+use ir_core::{run_sequence, Algorithm, RefinementKind, SessionConfig};
+use ir_corpus::CorpusConfig;
+use ir_storage::PolicyKind;
+
+fn bench_evaluation(c: &mut Criterion) {
+    let bed = TestBed::from_config(CorpusConfig::tiny()).expect("testbed");
+    // The longest tiny-topic query.
+    let topic = (0..bed.n_queries())
+        .max_by_key(|&i| bed.query(i).len())
+        .unwrap();
+    let query = bed.query(topic);
+    let pool = (query.total_pages() as usize).max(8);
+
+    let mut g = c.benchmark_group("evaluate_cold");
+    for alg in [Algorithm::Full, Algorithm::Df, Algorithm::Baf] {
+        g.bench_with_input(BenchmarkId::from_parameter(alg), &alg, |b, &alg| {
+            b.iter(|| {
+                let mut buffer = bed.index.make_buffer(pool, PolicyKind::Rap).unwrap();
+                black_box(
+                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("evaluate_warm_refinement");
+    for alg in [Algorithm::Df, Algorithm::Baf] {
+        g.bench_with_input(BenchmarkId::from_parameter(alg), &alg, |b, &alg| {
+            let mut buffer = bed.index.make_buffer(pool, PolicyKind::Rap).unwrap();
+            evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default()).unwrap();
+            b.iter(|| {
+                black_box(
+                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default())
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+
+    // One cell of the Figures 5–8 grid: a whole ADD-ONLY sequence.
+    let sequence = bed.sequence(topic, RefinementKind::AddOnly).unwrap();
+    let buffers = (query.total_pages() as usize / 4).max(2);
+    let mut g = c.benchmark_group("sequence_cell");
+    g.sample_size(20);
+    for (alg, policy) in [
+        (Algorithm::Df, PolicyKind::Lru),
+        (Algorithm::Baf, PolicyKind::Rap),
+    ] {
+        let label = format!("{alg}/{policy}");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                black_box(
+                    run_sequence(
+                        &bed.index,
+                        &sequence,
+                        SessionConfig::new(alg, policy, buffers),
+                        None,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

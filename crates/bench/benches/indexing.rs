@@ -1,0 +1,34 @@
+//! Index-construction and corpus-generation throughput: the build-time
+//! substrate (§4.2) — posting sort, pagination, W_d accumulation,
+//! conversion-table construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ir_corpus::{Corpus, CorpusConfig};
+use ir_engine::index_corpus;
+
+fn bench_indexing(c: &mut Criterion) {
+    let cfg = CorpusConfig::tiny();
+
+    let mut g = c.benchmark_group("corpus");
+    g.sample_size(20);
+    g.bench_function("generate_tiny", |b| {
+        b.iter(|| black_box(Corpus::generate(cfg.clone())))
+    });
+    g.finish();
+
+    let corpus = Corpus::generate(cfg);
+    let postings = corpus.total_postings();
+    let mut g = c.benchmark_group("index_build");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(postings));
+    g.bench_function("build_tiny", |b| {
+        b.iter(|| black_box(index_corpus(&corpus, false).unwrap()))
+    });
+    g.bench_function("build_tiny_with_compression", |b| {
+        b.iter(|| black_box(index_corpus(&corpus, true).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

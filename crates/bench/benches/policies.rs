@@ -1,0 +1,93 @@
+//! Buffer-manager overhead per replacement policy: hit-dominated and
+//! eviction-dominated reference streams. RAP's value bookkeeping and
+//! the simpler queues should all be within the same order of magnitude
+//! — the paper's policies trade *reads*, not CPU.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
+use ir_types::{PageId, Posting, TermId};
+
+fn store(n_terms: u32, pages_per_term: u32) -> DiskSim {
+    let lists = (0..n_terms)
+        .map(|t| {
+            (0..pages_per_term)
+                .map(|p| {
+                    let postings: Vec<Posting> = vec![Posting::new(p, pages_per_term - p)];
+                    Page::new(PageId::new(TermId(t), p), postings.into(), 2.0)
+                })
+                .collect()
+        })
+        .collect();
+    DiskSim::new(lists)
+}
+
+/// Footnote 8's concern: RAP's per-query re-valuation ("a reorganizing
+/// capability is required") touches every resident page. Measure
+/// begin_query cost against pool occupancy.
+fn bench_rap_reorganize(c: &mut Criterion) {
+    use ir_storage::PolicyKind;
+    use std::collections::HashMap;
+    let mut g = c.benchmark_group("rap_begin_query");
+    for resident in [64usize, 256, 1024] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(resident),
+            &resident,
+            |b, &resident| {
+                let terms = 16u32;
+                let pages = (resident as u32).div_ceil(terms);
+                let mut bm =
+                    BufferManager::new(store(terms, pages), resident, PolicyKind::Rap).unwrap();
+                for t in 0..terms {
+                    for p in 0..pages {
+                        bm.fetch(PageId::new(TermId(t), p)).unwrap();
+                    }
+                }
+                let weights: HashMap<TermId, f64> =
+                    (0..terms).map(|t| (TermId(t), 1.0 + f64::from(t))).collect();
+                b.iter(|| bm.begin_query(black_box(&weights)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    // Hit-dominated: working set fits.
+    let mut g = c.benchmark_group("buffer_hits");
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut bm = BufferManager::new(store(4, 16), 64, kind).unwrap();
+            // Pre-warm.
+            for t in 0..4 {
+                for p in 0..16 {
+                    bm.fetch(PageId::new(TermId(t), p)).unwrap();
+                }
+            }
+            let mut i = 0u32;
+            b.iter(|| {
+                let id = PageId::new(TermId(i % 4), (i / 4) % 16);
+                i = i.wrapping_add(1);
+                black_box(bm.fetch(id).unwrap());
+            })
+        });
+    }
+    g.finish();
+
+    // Eviction-dominated: sequential flooding through a small pool.
+    let mut g = c.benchmark_group("buffer_evictions");
+    for kind in PolicyKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut bm = BufferManager::new(store(2, 64), 16, kind).unwrap();
+            let mut i = 0u32;
+            b.iter(|| {
+                let id = PageId::new(TermId(i % 2), (i / 2) % 64);
+                i = i.wrapping_add(1);
+                black_box(bm.fetch(id).unwrap());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_rap_reorganize);
+criterion_main!(benches);

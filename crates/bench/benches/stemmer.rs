@@ -1,0 +1,54 @@
+//! Porter stemmer and analysis-pipeline throughput (§4.2 substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ir_text::{stem, Analyzer};
+
+const WORDS: &[&str] = &[
+    "computer",
+    "computing",
+    "computational",
+    "investments",
+    "stockmarkets",
+    "increases",
+    "drastically",
+    "relational",
+    "effectiveness",
+    "buffering",
+    "replacement",
+    "evaluation",
+    "refinement",
+    "conditional",
+    "hopefulness",
+    "traditional",
+    "organization",
+    "prices",
+];
+
+const TEXT: &str = "Drastic price increases hit American stockmarkets as traders \
+fled to the relative safety of bonds; analysts called the combination of \
+buffering problems and query refinement a serious performance issue for \
+traditional information retrieval systems.";
+
+fn bench_stemmer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text");
+    g.throughput(Throughput::Elements(WORDS.len() as u64));
+    g.bench_function("porter_stem_batch", |b| {
+        b.iter(|| {
+            for w in WORDS {
+                black_box(stem(black_box(w)));
+            }
+        })
+    });
+    g.finish();
+
+    let analyzer = Analyzer::english();
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Bytes(TEXT.len() as u64));
+    g.bench_function("analyze_paragraph", |b| {
+        b.iter(|| analyzer.analyze(black_box(TEXT)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stemmer);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Figure 3 (disk savings of DF per query vs total inverted-list
+//! pages) and Table 5 (the four representative queries), plus the
+//! §5.1.1 aggregate claims: DF cuts disk reads by ≈2/3 and accumulators
+//! by ≈50× with the Persin constants.
+
+use super::{ExpContext, ExpResult};
+use crate::output::TextTable;
+
+/// Summary statistics returned for EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig3Summary {
+    /// Mean per-query savings fraction.
+    pub mean_savings: f64,
+    /// Aggregate savings (total reads saved / total full reads).
+    pub aggregate_savings: f64,
+    /// Mean accumulator reduction factor (full / DF).
+    pub accumulator_factor: f64,
+}
+
+/// Runs the profile sweep and prints Fig. 3 + Table 5.
+pub fn run(ctx: &ExpContext<'_>) -> ExpResult<Fig3Summary> {
+    let profiles = ctx.profiles;
+    println!("\n== Figure 3: DF savings vs query inverted-list size ({} queries) ==", profiles.len());
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|p| {
+            vec![
+                p.topic.to_string(),
+                p.n_terms.to_string(),
+                p.total_pages.to_string(),
+                p.full_reads.to_string(),
+                p.df_reads.to_string(),
+                format!("{:.4}", p.savings),
+                p.full_accumulators.to_string(),
+                p.df_accumulators.to_string(),
+            ]
+        })
+        .collect();
+    ctx.out.write_csv(
+        "fig3.csv",
+        &[
+            "topic",
+            "n_terms",
+            "total_pages",
+            "full_reads",
+            "df_reads",
+            "savings",
+            "full_accumulators",
+            "df_accumulators",
+        ],
+        rows,
+    )?;
+
+    // Scatter summary in deciles of total pages.
+    let mut sorted: Vec<_> = profiles.iter().collect();
+    sorted.sort_by_key(|p| p.total_pages);
+    let mut table = TextTable::new(&["pages decile", "queries", "mean savings %", "min %", "max %"]);
+    for chunk in sorted.chunks(sorted.len().div_ceil(10).max(1)) {
+        let mean = chunk.iter().map(|p| p.savings).sum::<f64>() / chunk.len() as f64;
+        let min = chunk.iter().map(|p| p.savings).fold(f64::MAX, f64::min);
+        let max = chunk.iter().map(|p| p.savings).fold(f64::MIN, f64::max);
+        table.row(vec![
+            format!(
+                "{}–{}",
+                chunk.first().unwrap().total_pages,
+                chunk.last().unwrap().total_pages
+            ),
+            chunk.len().to_string(),
+            format!("{:.1}", mean * 100.0),
+            format!("{:.1}", min * 100.0),
+            format!("{:.1}", max * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let mean_savings = profiles.iter().map(|p| p.savings).sum::<f64>() / profiles.len() as f64;
+    let total_full: u64 = profiles.iter().map(|p| p.full_reads).sum();
+    let total_df: u64 = profiles.iter().map(|p| p.df_reads).sum();
+    let aggregate_savings = 1.0 - total_df as f64 / total_full.max(1) as f64;
+    let accumulator_factor = profiles
+        .iter()
+        .filter(|p| p.df_accumulators > 0)
+        .map(|p| p.full_accumulators as f64 / p.df_accumulators as f64)
+        .sum::<f64>()
+        / profiles.len() as f64;
+    println!(
+        "aggregate: savings {:.1} % (paper: ~67 %), mean per-query {:.1} %, \
+         accumulator reduction ×{:.0} (paper: ×50)",
+        aggregate_savings * 100.0,
+        mean_savings * 100.0,
+        accumulator_factor
+    );
+
+    // Table 5: the four representatives.
+    let reps = [
+        ("QUERY1", ctx.reps.query1, "68 Health Hazards (77.2 %)"),
+        ("QUERY2", ctx.reps.query2, "54 Satellite Launch (44.1 %)"),
+        ("QUERY3", ctx.reps.query3, "96 Computer-Aided (9.4 %)"),
+        ("QUERY4", ctx.reps.query4, "57 MCI (83.4 %)"),
+    ];
+    println!("\n== Table 5: representative queries ==");
+    let mut t5 = TextTable::new(&["alias", "topic", "terms", "pages", "read", "savings %", "paper analogue"]);
+    let mut t5rows = Vec::new();
+    for (alias, idx, paper) in reps {
+        let p = &profiles[idx];
+        t5.row(vec![
+            alias.to_string(),
+            p.topic.to_string(),
+            p.n_terms.to_string(),
+            p.total_pages.to_string(),
+            p.df_reads.to_string(),
+            format!("{:.1}", p.savings * 100.0),
+            paper.to_string(),
+        ]);
+        t5rows.push(vec![
+            alias.to_string(),
+            p.topic.to_string(),
+            p.n_terms.to_string(),
+            p.total_pages.to_string(),
+            p.df_reads.to_string(),
+            format!("{:.4}", p.savings),
+        ]);
+    }
+    print!("{}", t5.render());
+    ctx.out.write_csv(
+        "table5.csv",
+        &["alias", "topic", "terms", "pages", "read", "savings"],
+        t5rows,
+    )?;
+
+    Ok(Fig3Summary {
+        mean_savings,
+        aggregate_savings,
+        accumulator_factor,
+    })
+}

@@ -1,0 +1,120 @@
+//! Methodology self-check: the proportional-shrink scaling (documents
+//! and page size together — the paper's own §4.2 trick in reverse) must
+//! leave the experiment-relevant statistics invariant. If it does, the
+//! default σ = 1/16 results speak for the full-scale collection.
+//!
+//! Invariants checked across two scales (the context's σ and σ/2):
+//! pages-per-term spectrum (multi-page fraction, longest list), DF
+//! savings distribution (Figure 3's y-axis), and accumulator reduction.
+
+use super::{ExpContext, ExpResult};
+use crate::output::TextTable;
+use crate::setup::{profile_queries, TestBed};
+use ir_corpus::CorpusConfig;
+
+/// Summary for EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalingSummary {
+    /// Mean DF savings at the context scale.
+    pub savings_full: f64,
+    /// Mean DF savings at half that scale.
+    pub savings_half: f64,
+}
+
+fn stats_of(bed: &TestBed) -> ExpResult<(f64, f64, u32, f64)> {
+    let profiles = profile_queries(bed)?;
+    let mean_savings =
+        profiles.iter().map(|p| p.savings).sum::<f64>() / profiles.len().max(1) as f64;
+    let multi = bed
+        .index
+        .lexicon()
+        .iter()
+        .filter(|(_, e)| !e.stopped && e.n_pages > 1)
+        .count() as f64;
+    let indexed = bed.index.lexicon().n_indexed_terms().max(1) as f64;
+    let longest = bed
+        .index
+        .lexicon()
+        .iter()
+        .map(|(_, e)| e.n_pages)
+        .max()
+        .unwrap_or(0);
+    Ok((mean_savings, multi / indexed, longest, {
+        let acc: f64 = profiles
+            .iter()
+            .filter(|p| p.df_accumulators > 0)
+            .map(|p| p.full_accumulators as f64 / p.df_accumulators as f64)
+            .sum::<f64>()
+            / profiles.len().max(1) as f64;
+        acc
+    }))
+}
+
+/// Runs the scaling comparison.
+pub fn run(ctx: &ExpContext<'_>) -> ExpResult<ScalingSummary> {
+    println!("\n== Scaling self-check: proportional shrink preserves the statistics ==");
+    let sigma = ctx.bed.corpus.config.n_docs as f64 / f64::from(ir_corpus::config::WSJ_DOCS);
+    let half = CorpusConfig::paper_scaled(sigma / 2.0);
+    println!(
+        "building a second testbed at σ = {:.4} (the context runs at σ = {:.4}) ...",
+        sigma / 2.0,
+        sigma
+    );
+    let half_bed = TestBed::from_config(half)?;
+
+    let (s_full, multi_full, longest_full, acc_full) = stats_of(ctx.bed)?;
+    let (s_half, multi_half, longest_half, acc_half) = stats_of(&half_bed)?;
+
+    let mut t = TextTable::new(&["statistic", &format!("σ={sigma:.4}"), &format!("σ={:.4}", sigma / 2.0)]);
+    t.row(vec![
+        "mean DF savings %".into(),
+        format!("{:.1}", s_full * 100.0),
+        format!("{:.1}", s_half * 100.0),
+    ]);
+    t.row(vec![
+        "multi-page term fraction %".into(),
+        format!("{:.2}", multi_full * 100.0),
+        format!("{:.2}", multi_half * 100.0),
+    ]);
+    t.row(vec![
+        "longest list (pages)".into(),
+        longest_full.to_string(),
+        longest_half.to_string(),
+    ]);
+    t.row(vec![
+        "accumulator reduction ×".into(),
+        format!("{acc_full:.0}"),
+        format!("{acc_half:.0}"),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "(savings and page spectra should agree within a few points; that is\n\
+         what licenses reading the σ-scaled results as full-scale results)"
+    );
+    ctx.out.write_csv(
+        "scaling.csv",
+        &["statistic", "full_scale", "half_scale"],
+        [
+            vec!["mean_savings".to_string(), format!("{s_full:.4}"), format!("{s_half:.4}")],
+            vec![
+                "multi_page_fraction".to_string(),
+                format!("{multi_full:.4}"),
+                format!("{multi_half:.4}"),
+            ],
+            vec![
+                "longest_list_pages".to_string(),
+                longest_full.to_string(),
+                longest_half.to_string(),
+            ],
+            vec![
+                "accumulator_factor".to_string(),
+                format!("{acc_full:.1}"),
+                format!("{acc_half:.1}"),
+            ],
+        ],
+    )?;
+    Ok(ScalingSummary {
+        savings_full: s_full,
+        savings_half: s_half,
+    })
+}

@@ -1,0 +1,121 @@
+//! The accumulator set `A`: partial scores for the candidate documents.
+//!
+//! The paper treats the candidate-set size as the memory cost of query
+//! evaluation (§2.4): without filtering it "frequently includes more
+//! than half of the documents in the collection", and DF's `c_ins`
+//! exists precisely to bound it. The peak size is tracked so the
+//! experiments can report the accumulator reductions of §5.1.1/§5.2.3.
+
+use ir_types::DocId;
+use std::collections::HashMap;
+
+/// Partial-score accumulators with peak-size tracking.
+#[derive(Debug, Default)]
+pub struct Accumulators {
+    scores: HashMap<DocId, f64>,
+    peak: usize,
+}
+
+impl Accumulators {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Accumulators::default()
+    }
+
+    /// Does document `d` have an accumulator (`A_d ∈ A`)?
+    #[inline]
+    pub fn contains(&self, d: DocId) -> bool {
+        self.scores.contains_key(&d)
+    }
+
+    /// Adds `partial` to an **existing** accumulator; returns the new
+    /// value, or `None` if `d` has no accumulator (the caller decides
+    /// whether the threshold permits creating one).
+    #[inline]
+    pub fn add_existing(&mut self, d: DocId, partial: f64) -> Option<f64> {
+        self.scores.get_mut(&d).map(|v| {
+            *v += partial;
+            *v
+        })
+    }
+
+    /// Creates (or adds to) the accumulator for `d`; returns the new
+    /// value.
+    #[inline]
+    pub fn upsert(&mut self, d: DocId, partial: f64) -> f64 {
+        let v = self.scores.entry(d).or_insert(0.0);
+        *v += partial;
+        let v = *v;
+        if self.scores.len() > self.peak {
+            self.peak = self.scores.len();
+        }
+        v
+    }
+
+    /// Current number of accumulators.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// `true` when no document has a partial score.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Largest size the set ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Iterates `(doc, raw score)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, f64)> + '_ {
+        self.scores.iter().map(|(d, s)| (*d, *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_creates_and_accumulates() {
+        let mut a = Accumulators::new();
+        assert!(!a.contains(DocId(3)));
+        assert_eq!(a.upsert(DocId(3), 1.5), 1.5);
+        assert_eq!(a.upsert(DocId(3), 2.0), 3.5);
+        assert!(a.contains(DocId(3)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn add_existing_refuses_new_documents() {
+        let mut a = Accumulators::new();
+        assert_eq!(a.add_existing(DocId(1), 1.0), None);
+        assert_eq!(a.len(), 0, "a refused add must not create an accumulator");
+        a.upsert(DocId(1), 1.0);
+        assert_eq!(a.add_existing(DocId(1), 0.5), Some(1.5));
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut a = Accumulators::new();
+        for d in 0..10 {
+            a.upsert(DocId(d), 1.0);
+        }
+        assert_eq!(a.peak(), 10);
+        assert_eq!(a.len(), 10);
+        // add_existing on present docs does not change sizes.
+        a.add_existing(DocId(0), 1.0);
+        assert_eq!(a.peak(), 10);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut a = Accumulators::new();
+        a.upsert(DocId(0), 1.0);
+        a.upsert(DocId(1), 2.0);
+        let mut v: Vec<_> = a.iter().collect();
+        v.sort_by_key(|(d, _)| *d);
+        assert_eq!(v, vec![(DocId(0), 1.0), (DocId(1), 2.0)]);
+    }
+}

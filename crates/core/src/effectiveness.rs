@@ -1,0 +1,117 @@
+//! Retrieval effectiveness: non-interpolated average precision,
+//! precision@k, recall@k (§2.2, §4.1 footnote 10).
+//!
+//! The paper's effectiveness metric is the non-interpolated average
+//! precision over TREC relevance judgments; here judgments come from
+//! the synthetic corpus (documents actually generated from the query's
+//! topic).
+
+use crate::rank::Hit;
+use ir_types::DocId;
+use std::collections::HashSet;
+
+/// Non-interpolated average precision of a ranked list against a
+/// relevance set: the mean, over relevant *retrieved* positions, of the
+/// precision at that position, divided by the total number of relevant
+/// documents. Returns 0 when nothing is relevant in the collection.
+pub fn average_precision(hits: &[Hit], relevant: &HashSet<DocId>) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let mut found = 0u32;
+    let mut sum = 0.0;
+    for (rank0, h) in hits.iter().enumerate() {
+        if relevant.contains(&h.doc) {
+            found += 1;
+            sum += f64::from(found) / (rank0 + 1) as f64;
+        }
+    }
+    sum / relevant.len() as f64
+}
+
+/// Precision at cut-off `k` (0 when `k = 0`).
+pub fn precision_at(hits: &[Hit], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let considered = hits.iter().take(k);
+    let hit_count = considered.filter(|h| relevant.contains(&h.doc)).count();
+    hit_count as f64 / k as f64
+}
+
+/// Recall at cut-off `k` (0 when nothing is relevant).
+pub fn recall_at(hits: &[Hit], relevant: &HashSet<DocId>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hit_count = hits
+        .iter()
+        .take(k)
+        .filter(|h| relevant.contains(&h.doc))
+        .count();
+    hit_count as f64 / relevant.len() as f64
+}
+
+/// Builds a relevance set from raw document numbers.
+pub fn relevance_set(docs: &[u32]) -> HashSet<DocId> {
+    docs.iter().map(|&d| DocId(d)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(docs: &[u32]) -> Vec<Hit> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, &d)| Hit {
+                doc: DocId(d),
+                score: 1.0 - i as f64 * 0.01,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let rel = relevance_set(&[1, 2]);
+        let ap = average_precision(&hits(&[1, 2, 3, 4]), &rel);
+        assert!((ap - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_ap_example() {
+        // Relevant docs {1, 3, 5}; ranking 1, 2, 3, 4, 5:
+        // precisions at relevant ranks: 1/1, 2/3, 3/5 → AP = (1 + 2/3 + 3/5)/3.
+        let rel = relevance_set(&[1, 3, 5]);
+        let ap = average_precision(&hits(&[1, 2, 3, 4, 5]), &rel);
+        let expected = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((ap - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unretrieved_relevant_docs_penalize_ap() {
+        let rel = relevance_set(&[1, 9]);
+        let ap = average_precision(&hits(&[1, 2]), &rel);
+        assert!((ap - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let rel = relevance_set(&[]);
+        assert_eq!(average_precision(&hits(&[1]), &rel), 0.0);
+        assert_eq!(recall_at(&hits(&[1]), &rel, 5), 0.0);
+        assert_eq!(precision_at(&hits(&[1]), &relevance_set(&[1]), 0), 0.0);
+    }
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let rel = relevance_set(&[1, 3]);
+        let h = hits(&[1, 2, 3, 4]);
+        assert!((precision_at(&h, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at(&h, &rel, 4) - 0.5).abs() < 1e-12);
+        assert!((recall_at(&h, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((recall_at(&h, &rel, 4) - 1.0).abs() < 1e-12);
+        // k beyond the list length is fine.
+        assert!((precision_at(&h, &rel, 10) - 2.0 / 10.0).abs() < 1e-12);
+    }
+}

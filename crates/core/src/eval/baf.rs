@@ -1,0 +1,380 @@
+//! Buffer-Aware Filtering (Fig. 2): DF's per-term processing, with the
+//! processing *order* chosen round-by-round to minimize estimated disk
+//! reads `d_t = max(p_t − b_t, 0)`.
+//!
+//! Implementation notes from §3.2.2, all honoured here:
+//!
+//! * `p_t` comes from the memory-resident conversion table, looked up
+//!   at the term's would-be `f_add`;
+//! * `b_t` comes from the buffer manager and is re-queried for every
+//!   unmarked term in every round (up to `T(T+1)/2` inquiries);
+//! * the `(f_add, p_t)` arrays are cached and recomputed **only when
+//!   `S_max` changed** since the previous round;
+//! * ties in `d_t` break toward higher `idf_t`.
+
+use super::scan::scan_term;
+use super::EvalOptions;
+use crate::accumulator::Accumulators;
+use crate::query::Query;
+use crate::rank;
+use crate::stats::{EvalStats, QueryResult, TermTraceRow};
+use ir_index::InvertedIndex;
+use ir_storage::{BufferManager, PageStore};
+use ir_types::{IrResult, ListOrdering, PageId};
+
+/// Runs BAF.
+pub fn evaluate_baf<S: PageStore>(
+    index: &InvertedIndex,
+    buffer: &mut BufferManager<S>,
+    query: &Query,
+    options: EvalOptions,
+) -> IrResult<QueryResult> {
+    if options.announce_query {
+        buffer.begin_query(&query.weights());
+    }
+    // Frequency-sorted lists allow terminating a scan at the first
+    // entry below f_add; doc-ordered lists must be scanned fully.
+    let early_stop = index.params().ordering == ListOrdering::FrequencySorted;
+
+    let terms = query.terms().to_vec();
+    let n = terms.len();
+    let mut done = vec![false; n];
+    let mut f_add_cache = vec![0.0f64; n];
+    let mut pt_cache = vec![0u32; n];
+    // Forces a recompute on the first round (S_max starts at 0).
+    let mut cache_valid_for = f64::NEG_INFINITY;
+
+    let mut accs = Accumulators::new();
+    let mut s_max = 0.0f64;
+    let mut stats = EvalStats::default();
+    let mut trace = Vec::with_capacity(n);
+
+    for _round in 0..n {
+        // Step 3a-i/ii: refresh (f_add, p_t) only if S_max moved.
+        if s_max != cache_valid_for {
+            for (i, t) in terms.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let f_add = options.params.f_add(s_max, t.query_freq, t.idf);
+                f_add_cache[i] = f_add;
+                pt_cache[i] = index.conversion().pages_to_process(t.term, f_add)?;
+                stats.threshold_recomputes += 1;
+            }
+            cache_valid_for = s_max;
+        }
+        // Step 3a-iii/iv: live b_t per unmarked term; pick min d_t.
+        let mut best: Option<(usize, u32)> = None;
+        for (i, t) in terms.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let b_t = buffer.resident_pages(t.term);
+            stats.bt_inquiries += 1;
+            let d_t = pt_cache[i].saturating_sub(b_t);
+            let better = match best {
+                None => true,
+                Some((j, best_d)) => {
+                    d_t < best_d
+                        || (d_t == best_d
+                            && (t.idf > terms[j].idf
+                                || (t.idf == terms[j].idf && t.term < terms[j].term)))
+                }
+            };
+            if better {
+                best = Some((i, d_t));
+            }
+        }
+        let (i, _) = best.expect("an unmarked term exists in every round");
+        done[i] = true;
+        let t = &terms[i];
+
+        // Step 3b: fresh thresholds (f_add equals the cached value — the
+        // cache was refreshed against the current S_max above).
+        let f_ins = options.params.f_ins(s_max, t.query_freq, t.idf);
+        let f_add = f_add_cache[i];
+        debug_assert_eq!(f_add, options.params.f_add(s_max, t.query_freq, t.idf));
+
+        let mut row = TermTraceRow {
+            term: t.term,
+            idf: t.idf,
+            query_freq: t.query_freq,
+            list_pages: t.n_pages,
+            s_max_before: s_max,
+            f_ins,
+            f_add,
+            pages_processed: 0,
+            pages_read: 0,
+        };
+        // Step 3c: f_max skip.
+        if f64::from(t.f_max) <= f_add {
+            stats.terms_skipped += 1;
+            if options.baf_force_first_page && t.n_pages > 0 {
+                // §3.2.2 safety fix: touch the first page anyway so a
+                // newly added term is never silently ignored.
+                let misses_before = buffer.stats().misses;
+                buffer.fetch(PageId::new(t.term, 0))?;
+                row.pages_processed = 1;
+                row.pages_read = (buffer.stats().misses - misses_before) as u32;
+                stats.pages_processed += 1;
+                stats.disk_reads += u64::from(row.pages_read);
+            }
+            trace.push(row);
+            continue;
+        }
+        let out = scan_term(buffer, &mut accs, &mut s_max, t, f_ins, f_add, early_stop)?;
+        stats.terms_scanned += 1;
+        stats.pages_processed += u64::from(out.pages_processed);
+        stats.disk_reads += u64::from(out.pages_read);
+        stats.entries_processed += out.entries;
+        row.pages_processed = out.pages_processed;
+        row.pages_read = out.pages_read;
+        trace.push(row);
+    }
+
+    let hits = rank::top_n(&accs, index.doc_stats(), options.top_n)?;
+    stats.peak_accumulators = accs.peak();
+    stats.final_accumulators = accs.len();
+    Ok(QueryResult { hits, stats, trace })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, evaluate_df, Algorithm};
+    use ir_index::{BuildOptions, IndexBuilder};
+    use ir_storage::PolicyKind;
+    use ir_types::{FilterParams, IndexParams};
+
+    /// Index with one long list ("commn", 8 docs) and short ones.
+    fn index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in 0..8u32 {
+            let mut doc = vec!["commn"];
+            if d == 0 {
+                doc.extend(["rare", "rare", "rare", "mid"]);
+            }
+            if d < 2 {
+                doc.push("mid");
+            }
+            b.add_document(doc);
+        }
+        for _ in 0..8 {
+            b.add_document(["filler"]);
+        }
+        b.build(BuildOptions {
+            params: IndexParams::with_page_size(2),
+            ..BuildOptions::default()
+        })
+        .unwrap()
+    }
+
+    fn query(idx: &InvertedIndex, terms: &[(&str, u32)]) -> Query {
+        let named: Vec<(String, u32)> =
+            terms.iter().map(|&(n, f)| (n.to_string(), f)).collect();
+        Query::from_named(idx, &named)
+    }
+
+    #[test]
+    fn cold_buffers_fall_back_to_idf_order() {
+        // With nothing resident, every term has d_t = p_t > 0... not
+        // necessarily idf order; but with filters OFF and cold buffers,
+        // d_t = list pages, so the *shortest list* goes first — and the
+        // tie-break is idf. Verify ordering is by (d_t, idf desc).
+        let idx = index();
+        let q = query(&idx, &[("commn", 1), ("rare", 1), ("mid", 1)]);
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let r = evaluate(
+            Algorithm::Baf,
+            &idx,
+            &mut buf,
+            &q,
+            EvalOptions {
+                params: FilterParams::OFF,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let pages: Vec<u32> = r.trace.iter().map(|row| row.list_pages).collect();
+        assert!(
+            pages.windows(2).all(|w| w[0] <= w[1]),
+            "cold BAF must process shorter lists first: {pages:?}"
+        );
+    }
+
+    #[test]
+    fn warm_terms_are_preferred() {
+        let idx = index();
+        let commn = idx.lexicon().lookup("commn").unwrap();
+        let q_warm = query(&idx, &[("commn", 1)]);
+        let q = query(&idx, &[("commn", 1), ("rare", 1), ("mid", 1)]);
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        // Warm the long list.
+        evaluate(
+            Algorithm::Baf,
+            &idx,
+            &mut buf,
+            &q_warm,
+            EvalOptions {
+                params: FilterParams::OFF,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(buf.resident_pages(commn) > 0);
+        // Now the long-but-warm list has d_t = 0 and must go first.
+        let r = evaluate(
+            Algorithm::Baf,
+            &idx,
+            &mut buf,
+            &q,
+            EvalOptions {
+                params: FilterParams::OFF,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.trace[0].term, commn, "resident list must be processed first");
+        assert_eq!(r.trace[0].pages_read, 0);
+    }
+
+    #[test]
+    fn baf_matches_full_df_scores_when_filters_off() {
+        // With c_ins = c_add = 0 the processing order cannot change the
+        // final accumulated scores: BAF and DF must return identical
+        // rankings.
+        let idx = index();
+        let q = query(&idx, &[("commn", 1), ("rare", 2), ("mid", 1)]);
+        let opts = EvalOptions {
+            params: FilterParams::OFF,
+            ..EvalOptions::default()
+        };
+        let mut b1 = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let df = evaluate_df(&idx, &mut b1, &q, opts).unwrap();
+        let mut b2 = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let baf = evaluate_baf(&idx, &mut b2, &q, opts).unwrap();
+        assert_eq!(df.hits.len(), baf.hits.len());
+        for (a, b) in df.hits.iter().zip(&baf.hits) {
+            assert_eq!(a.doc, b.doc);
+            assert!((a.score - b.score).abs() < 1e-9);
+        }
+        // And with everything processed, reads are identical too.
+        assert_eq!(df.stats.disk_reads, baf.stats.disk_reads);
+    }
+
+    #[test]
+    fn bt_inquiries_are_quadratic_in_terms() {
+        let idx = index();
+        let q = query(&idx, &[("commn", 1), ("rare", 1), ("mid", 1)]);
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let r = evaluate_baf(&idx, &mut buf, &q, EvalOptions::default()).unwrap();
+        // T(T+1)/2 with T = 3.
+        assert_eq!(r.stats.bt_inquiries, 6);
+    }
+
+    #[test]
+    fn threshold_cache_not_recomputed_when_smax_static() {
+        let idx = index();
+        // Filters OFF → f_add stays 0 → S_max changes after first term
+        // only... S_max does change (starts 0, grows). But with OFF the
+        // f_add values stay 0; the cache still recomputes when S_max
+        // moves. Verify the count is bounded by T + T-1 (first round T,
+        // at most T-1 after each scan) rather than T(T+1)/2 when S_max
+        // stops moving early.
+        let q = query(&idx, &[("commn", 1), ("rare", 1), ("mid", 1)]);
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let r = evaluate_baf(&idx, &mut buf, &q, EvalOptions::default()).unwrap();
+        assert!(r.stats.threshold_recomputes <= 6);
+        assert!(r.stats.threshold_recomputes >= 3, "first round recomputes all");
+    }
+
+    #[test]
+    fn force_first_page_touches_skipped_terms() {
+        let idx = index();
+        // Build S_max high with rare (fq 5), then a term whose f_max
+        // fails the addition threshold gets skipped; with the safety
+        // fix its first page is still read.
+        let q = query(&idx, &[("rare", 5), ("commn", 1)]);
+        let params = FilterParams::new(100.0, 100.0);
+        let run = |force: bool| {
+            let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+            evaluate_baf(
+                &idx,
+                &mut buf,
+                &q,
+                EvalOptions {
+                    params,
+                    baf_force_first_page: force,
+                    ..EvalOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert_eq!(without.stats.terms_skipped, with.stats.terms_skipped);
+        assert!(
+            with.stats.disk_reads > without.stats.disk_reads
+                || with.stats.pages_processed > without.stats.pages_processed,
+            "the safety fix must touch at least one extra page"
+        );
+    }
+
+    #[test]
+    fn refinement_pushes_new_term_back() {
+        // The §3.2.1 scenario in miniature: evaluate a query, then add
+        // a term and re-evaluate with warm buffers. The added term must
+        // be processed last (its pages are cold) and the retained terms
+        // first.
+        let idx = index();
+        let q1 = query(&idx, &[("commn", 1), ("mid", 1)]);
+        let q2 = query(&idx, &[("commn", 1), ("mid", 1), ("rare", 1)]);
+        let rare = idx.lexicon().lookup("rare").unwrap();
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let opts = EvalOptions {
+            params: FilterParams::OFF,
+            ..EvalOptions::default()
+        };
+        evaluate_baf(&idx, &mut buf, &q1, opts).unwrap();
+        let r2 = evaluate_baf(&idx, &mut buf, &q2, opts).unwrap();
+        let order = r2.processing_order();
+        assert_eq!(
+            *order.last().unwrap(),
+            rare,
+            "added term must be pushed back: {order:?}"
+        );
+        // Retained terms read nothing.
+        for row in &r2.trace {
+            if row.term != rare {
+                assert_eq!(row.pages_read, 0, "retained term {:?} re-read pages", row.term);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_higher_idf() {
+        let idx = index();
+        // rare (1 page, idf high) and mid (1 page, idf lower): equal
+        // d_t on cold buffers with OFF → rare first.
+        let q = query(&idx, &[("mid", 1), ("rare", 1)]);
+        let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
+        let r = evaluate_baf(
+            &idx,
+            &mut buf,
+            &q,
+            EvalOptions {
+                params: FilterParams::OFF,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        let rare = idx.lexicon().lookup("rare").unwrap();
+        let mid = idx.lexicon().lookup("mid").unwrap();
+        let rare_pages = idx.n_pages(rare).unwrap();
+        let mid_pages = idx.n_pages(mid).unwrap();
+        if rare_pages == mid_pages {
+            assert_eq!(r.trace[0].term, rare);
+        }
+        let _ = mid;
+    }
+}

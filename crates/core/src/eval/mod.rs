@@ -1,0 +1,157 @@
+//! The evaluation algorithms: Full (safe), DF (Fig. 1), BAF (Fig. 2).
+
+mod baf;
+mod df;
+mod scan;
+
+pub use baf::evaluate_baf;
+pub use df::evaluate_df;
+
+use crate::query::Query;
+use crate::stats::QueryResult;
+use ir_index::InvertedIndex;
+use ir_storage::{BufferManager, PageStore};
+use ir_types::{FilterParams, IrResult, DEFAULT_TOP_N};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which evaluation algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Safe evaluation: DF with the filters off (`c_add = c_ins = 0`).
+    Full,
+    /// Document Filtering [Per94], the paper's baseline.
+    Df,
+    /// Buffer-Aware Filtering — the paper's proposal.
+    Baf,
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Algorithm::Full => "FULL",
+            Algorithm::Df => "DF",
+            Algorithm::Baf => "BAF",
+        })
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(Algorithm::Full),
+            "df" => Ok(Algorithm::Df),
+            "baf" => Ok(Algorithm::Baf),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// Evaluation knobs shared by the algorithms.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Filtering constants (ignored by [`Algorithm::Full`], which
+    /// forces them to zero).
+    pub params: FilterParams,
+    /// Answer-set size `n`.
+    pub top_n: usize,
+    /// BAF only: the §3.2.2 safety fix — always read at least the first
+    /// page of a term instead of skipping it outright, guaranteeing a
+    /// newly added term is never entirely ignored. The paper observed
+    /// the guard never fires in practice; off by default.
+    pub baf_force_first_page: bool,
+    /// Announce this query's term weights to the buffer manager before
+    /// evaluating (RAP's per-query context). Multi-user drivers that
+    /// maintain a *merged* query context (paper §3.3, option 2) set
+    /// this to `false` and call
+    /// [`BufferManager::begin_query`](ir_storage::BufferManager::begin_query)
+    /// themselves.
+    pub announce_query: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            params: FilterParams::PERSIN,
+            top_n: DEFAULT_TOP_N,
+            baf_force_first_page: false,
+            announce_query: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Persin-tuned filtering with answer size `n`.
+    pub fn with_top_n(top_n: usize) -> Self {
+        EvalOptions {
+            top_n,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// Runs `algorithm` over `query`.
+///
+/// The buffer pool is **not** flushed — refinement workloads rely on
+/// pages surviving across calls; flush explicitly between sequences.
+///
+/// ```
+/// use ir_core::eval::{evaluate, EvalOptions};
+/// use ir_core::{Algorithm, Query};
+/// use ir_index::{BuildOptions, IndexBuilder};
+/// use ir_storage::PolicyKind;
+///
+/// let mut b = IndexBuilder::new();
+/// b.add_document(["stock", "crash"]);
+/// b.add_document(["stock", "rally"]);
+/// let index = b.build(BuildOptions::default())?;
+/// let mut buffer = index.make_buffer(8, PolicyKind::Rap)?;
+/// let query = Query::from_named(&index, &[("crash".into(), 1)]);
+/// let result = evaluate(Algorithm::Baf, &index, &mut buffer, &query, EvalOptions::default())?;
+/// assert_eq!(result.hits.len(), 1);
+/// assert_eq!(result.hits[0].doc, ir_types::DocId(0));
+/// # Ok::<(), ir_types::IrError>(())
+/// ```
+pub fn evaluate<S: PageStore>(
+    algorithm: Algorithm,
+    index: &InvertedIndex,
+    buffer: &mut BufferManager<S>,
+    query: &Query,
+    options: EvalOptions,
+) -> IrResult<QueryResult> {
+    match algorithm {
+        Algorithm::Full => {
+            let opts = EvalOptions {
+                params: FilterParams::OFF,
+                ..options
+            };
+            evaluate_df(index, buffer, query, opts)
+        }
+        Algorithm::Df => evaluate_df(index, buffer, query, options),
+        Algorithm::Baf => evaluate_baf(index, buffer, query, options),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_round_trips_str() {
+        for a in [Algorithm::Full, Algorithm::Df, Algorithm::Baf] {
+            assert_eq!(a.to_string().parse::<Algorithm>().unwrap(), a);
+        }
+        assert!("dfx".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn default_options_are_paper_tuned() {
+        let o = EvalOptions::default();
+        assert_eq!(o.params, FilterParams::PERSIN);
+        assert_eq!(o.top_n, 20);
+        assert!(!o.baf_force_first_page);
+    }
+}

@@ -1,0 +1,177 @@
+//! The shared inner loop: scanning one term's inverted list under the
+//! filtering thresholds (step 4(c) of Fig. 1 == step 3(d) of Fig. 2).
+
+use crate::accumulator::Accumulators;
+use crate::query::QueryTerm;
+use ir_storage::{BufferManager, PageStore};
+use ir_types::{IrResult, PageId};
+
+/// What one term scan did.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ScanOutcome {
+    /// Pages of the list examined.
+    pub pages_processed: u32,
+    /// Of those, pages that came from disk.
+    pub pages_read: u32,
+    /// Entries examined (including the terminating one).
+    pub entries: u64,
+}
+
+/// Scans `term`'s list in frequency order, accumulating partial
+/// similarities under `f_ins` / `f_add`, terminating at the first entry
+/// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
+/// touched (step 4(c)v).
+pub(crate) fn scan_term<S: PageStore>(
+    buffer: &mut BufferManager<S>,
+    accs: &mut Accumulators,
+    s_max: &mut f64,
+    term: &QueryTerm,
+    f_ins: f64,
+    f_add: f64,
+    early_stop: bool,
+) -> IrResult<ScanOutcome> {
+    let mut out = ScanOutcome::default();
+    let misses_before = buffer.stats().misses;
+    let w_q = term.weight();
+    'pages: for p in 0..term.n_pages {
+        let page = buffer.fetch(PageId::new(term.term, p))?;
+        out.pages_processed += 1;
+        for posting in page.postings() {
+            out.entries += 1;
+            let f = f64::from(posting.freq);
+            if f <= f_add {
+                if early_stop {
+                    // Frequency ordering: nothing further in this list
+                    // can pass the addition threshold.
+                    break 'pages;
+                }
+                // Doc ordering: the entry is filtered, but later ones
+                // may still pass — keep scanning (footnote 14).
+                continue;
+            }
+            let partial = f64::from(posting.freq) * term.idf * w_q;
+            if f > f_ins {
+                let v = accs.upsert(posting.doc, partial);
+                if v > *s_max {
+                    *s_max = v;
+                }
+            } else if let Some(v) = accs.add_existing(posting.doc, partial) {
+                if v > *s_max {
+                    *s_max = v;
+                }
+            }
+        }
+    }
+    out.pages_read = (buffer.stats().misses - misses_before) as u32;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_storage::{DiskSim, Page, PolicyKind};
+    use ir_types::{DocId, Posting, TermId};
+
+    /// One term, postings (doc, freq) frequency-sorted, `page_size`
+    /// entries per page, idf 2.0.
+    fn setup(entries: &[(u32, u32)], page_size: usize) -> (BufferManager<DiskSim>, QueryTerm) {
+        let postings: Vec<Posting> = entries.iter().map(|&(d, f)| Posting::new(d, f)).collect();
+        assert!(ir_types::is_frequency_sorted(&postings));
+        let idf = 2.0;
+        let pages: Vec<Page> = postings
+            .chunks(page_size)
+            .enumerate()
+            .map(|(i, c)| Page::new(PageId::new(TermId(0), i as u32), c.to_vec().into(), idf))
+            .collect();
+        let n_pages = pages.len() as u32;
+        let f_max = postings.first().map_or(0, |p| p.freq);
+        let disk = DiskSim::new(vec![pages]);
+        let buffer = BufferManager::new(disk, 64, PolicyKind::Lru).unwrap();
+        let term = QueryTerm {
+            term: TermId(0),
+            query_freq: 1,
+            idf,
+            f_max,
+            n_pages,
+        };
+        (buffer, term)
+    }
+
+    #[test]
+    fn zero_thresholds_process_everything() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        assert_eq!(out.pages_processed, 2);
+        assert_eq!(out.pages_read, 2);
+        assert_eq!(out.entries, 4);
+        assert_eq!(accs.len(), 4);
+        // Highest partial: f=5 → 5·idf · 1·idf = 5·4 = 20.
+        assert!((s_max - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_add_terminates_scan_on_failing_entry() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        // f_add = 2: f=1 fails; the failing entry is on page 1, so both
+        // its page and page 0 are processed, and entries = 3 (5, 3, 1).
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 2.0, true).unwrap();
+        assert_eq!(out.pages_processed, 2);
+        assert_eq!(out.entries, 3);
+        assert_eq!(accs.len(), 2);
+    }
+
+    #[test]
+    fn f_add_within_first_page_stops_there() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 1), (2, 1), (3, 1)], 2);
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 1.0, true).unwrap();
+        assert_eq!(out.pages_processed, 1, "page 1 must not be fetched");
+        assert_eq!(out.entries, 2);
+        assert_eq!(accs.len(), 1);
+    }
+
+    #[test]
+    fn f_ins_gates_new_accumulators_but_not_additions() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 2)], 4);
+        let mut accs = Accumulators::new();
+        accs.upsert(DocId(2), 1.0); // doc 2 already a candidate
+        let mut s_max = 0.0;
+        // f_ins = 4: only f=5 creates; f=3 (doc 1) is filtered out
+        // entirely; f=2 (doc 2) passes f_add and doc 2 exists → added.
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 4.0, 1.0, true).unwrap();
+        assert_eq!(out.entries, 3);
+        assert_eq!(accs.len(), 2);
+        assert!(accs.contains(DocId(0)));
+        assert!(!accs.contains(DocId(1)));
+        // doc 2: 1.0 + 2·2·1·2 = 9.
+        let d2 = accs.iter().find(|(d, _)| *d == DocId(2)).unwrap().1;
+        assert!((d2 - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_buffer_reads_nothing() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        let mut accs2 = Accumulators::new();
+        let mut s2 = 0.0;
+        let out = scan_term(&mut buf, &mut accs2, &mut s2, &term, 0.0, 0.0, true).unwrap();
+        assert_eq!(out.pages_processed, 2);
+        assert_eq!(out.pages_read, 0, "everything was resident");
+    }
+
+    #[test]
+    fn smax_only_grows() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3)], 4);
+        let mut accs = Accumulators::new();
+        let mut s_max = 1000.0;
+        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        assert_eq!(s_max, 1000.0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Query representation: a bag of lexicon-resolved terms with the
+//! per-term statistics the evaluator needs in memory.
+
+use ir_index::InvertedIndex;
+use ir_types::{IrResult, TermId};
+use std::collections::HashMap;
+
+/// One resolved query term.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryTerm {
+    /// The lexicon id.
+    pub term: TermId,
+    /// `f_{q,t}` — the term's frequency in the query.
+    pub query_freq: u32,
+    /// `idf_t`, copied from the lexicon.
+    pub idf: f64,
+    /// `f_max` of the term's inverted list.
+    pub f_max: u32,
+    /// Pages in the term's inverted list.
+    pub n_pages: u32,
+}
+
+impl QueryTerm {
+    /// `w_{q,t} = f_{q,t} · idf_t`.
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        ir_types::weights::term_weight(self.query_freq, self.idf)
+    }
+}
+
+/// A resolved query. Construction drops terms that cannot contribute:
+/// unknown strings, stopped terms, and terms with empty inverted lists
+/// (a real system would report them; the evaluator must not see them).
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    terms: Vec<QueryTerm>,
+    dropped: usize,
+}
+
+impl Query {
+    /// Resolves `(term name, f_{q,t})` pairs against the index.
+    /// Duplicate names have their frequencies summed.
+    pub fn from_named(index: &InvertedIndex, terms: &[(String, u32)]) -> Query {
+        let mut merged: HashMap<&str, u32> = HashMap::with_capacity(terms.len());
+        for (name, freq) in terms {
+            *merged.entry(name.as_str()).or_insert(0) += *freq;
+        }
+        let mut dropped = 0usize;
+        let mut resolved: Vec<QueryTerm> = Vec::with_capacity(merged.len());
+        for (name, freq) in merged {
+            match index.lexicon().lookup(name) {
+                Some(id) => match Self::resolve(index, id, freq) {
+                    Some(t) => resolved.push(t),
+                    None => dropped += 1,
+                },
+                None => dropped += 1,
+            }
+        }
+        // Deterministic base order (the evaluators re-order anyway).
+        resolved.sort_by_key(|t| t.term);
+        Query {
+            terms: resolved,
+            dropped,
+        }
+    }
+
+    /// Resolves `(term id, f_{q,t})` pairs (the workload path, where
+    /// ids are already known).
+    ///
+    /// # Errors
+    /// Propagates lexicon lookup failures for unknown ids.
+    pub fn from_ids(index: &InvertedIndex, terms: &[(TermId, u32)]) -> IrResult<Query> {
+        let mut merged: HashMap<TermId, u32> = HashMap::with_capacity(terms.len());
+        for &(id, freq) in terms {
+            *merged.entry(id).or_insert(0) += freq;
+        }
+        let mut dropped = 0usize;
+        let mut resolved = Vec::with_capacity(merged.len());
+        for (id, freq) in merged {
+            index.lexicon().entry(id)?; // unknown ids are an error here
+            match Self::resolve(index, id, freq) {
+                Some(t) => resolved.push(t),
+                None => dropped += 1,
+            }
+        }
+        resolved.sort_by_key(|t| t.term);
+        Ok(Query {
+            terms: resolved,
+            dropped,
+        })
+    }
+
+    fn resolve(index: &InvertedIndex, id: TermId, freq: u32) -> Option<QueryTerm> {
+        let e = index.lexicon().entry(id).ok()?;
+        if e.stopped || e.n_postings == 0 || freq == 0 {
+            return None;
+        }
+        Some(QueryTerm {
+            term: id,
+            query_freq: freq,
+            idf: e.idf,
+            f_max: e.f_max,
+            n_pages: e.n_pages,
+        })
+    }
+
+    /// The resolved terms (unordered; evaluators impose their own
+    /// processing order).
+    pub fn terms(&self) -> &[QueryTerm] {
+        &self.terms
+    }
+
+    /// Number of resolved terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when nothing resolved.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Terms dropped during resolution (unknown/stopped/empty).
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Total pages across the query's inverted lists (the x-axis of the
+    /// paper's Figure 3).
+    pub fn total_pages(&self) -> u64 {
+        self.terms.iter().map(|t| u64::from(t.n_pages)).sum()
+    }
+
+    /// `w_{q,t}` per term — what the buffer manager's
+    /// [`begin_query`](ir_storage::BufferManager::begin_query) wants.
+    pub fn weights(&self) -> HashMap<TermId, f64> {
+        self.terms.iter().map(|t| (t.term, t.weight())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_index::{BuildOptions, IndexBuilder};
+
+    fn index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(["apple", "bond", "apple"]);
+        b.add_document(["bond", "crash"]);
+        b.build(BuildOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn named_resolution_drops_unknown() {
+        let idx = index();
+        let q = Query::from_named(
+            &idx,
+            &[("apple".into(), 2), ("zebra".into(), 1), ("bond".into(), 1)],
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_merge() {
+        let idx = index();
+        let q = Query::from_named(&idx, &[("bond".into(), 1), ("bond".into(), 2)]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.terms()[0].query_freq, 3);
+    }
+
+    #[test]
+    fn weights_are_freq_times_idf() {
+        let idx = index();
+        let q = Query::from_named(&idx, &[("crash".into(), 2)]);
+        let t = q.terms()[0];
+        let w = q.weights();
+        assert!((w[&t.term] - 2.0 * t.idf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_ids_errors_on_unknown_id() {
+        let idx = index();
+        assert!(Query::from_ids(&idx, &[(TermId(99), 1)]).is_err());
+    }
+
+    #[test]
+    fn zero_freq_terms_dropped() {
+        let idx = index();
+        let apple = idx.lexicon().lookup("apple").unwrap();
+        let q = Query::from_ids(&idx, &[(apple, 0)]).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn total_pages_sums_lists() {
+        let idx = index();
+        let q = Query::from_named(&idx, &[("apple".into(), 1), ("bond".into(), 1)]);
+        // Tiny index: every list fits one page.
+        assert_eq!(q.total_pages(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Evaluation metrics and per-term traces.
+//!
+//! The paper's metrics (§4.1): disk reads (headline), inverted-list
+//! entries processed (CPU proxy), and candidate-set size (memory
+//! proxy). The per-term trace reproduces the columns of Tables 1 and 2.
+
+use crate::rank::Hit;
+use ir_types::TermId;
+use serde::Serialize;
+
+/// Counters for one query evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct EvalStats {
+    /// Pages read from disk (buffer misses) — the paper's headline
+    /// metric.
+    pub disk_reads: u64,
+    /// Pages examined (buffer hits + misses).
+    pub pages_processed: u64,
+    /// `(d, f_{d,t})` entries examined, including the terminating one.
+    pub entries_processed: u64,
+    /// High-water mark of the candidate set.
+    pub peak_accumulators: usize,
+    /// Candidate-set size at the end of evaluation.
+    pub final_accumulators: usize,
+    /// Terms whose lists were scanned (at least one page).
+    pub terms_scanned: usize,
+    /// Terms skipped entirely by the `f_max ≤ f_add` test (step 4b/3c).
+    pub terms_skipped: usize,
+    /// BAF only: `b_t` inquiries to the buffer manager (the paper's
+    /// `T(T+1)/2` bound).
+    pub bt_inquiries: u64,
+    /// BAF only: `(f_add, p_t)` cache entries recomputed after an
+    /// `S_max` change.
+    pub threshold_recomputes: u64,
+}
+
+/// One row of a Table 1/2-style evaluation trace: the state of the
+/// algorithm when a term came up for processing.
+#[derive(Clone, Debug, Serialize)]
+pub struct TermTraceRow {
+    /// The term.
+    pub term: TermId,
+    /// `idf_t`.
+    pub idf: f64,
+    /// `f_{q,t}`.
+    pub query_freq: u32,
+    /// Pages in the term's inverted list ("Pages").
+    pub list_pages: u32,
+    /// `S_max` before this term was processed.
+    pub s_max_before: f64,
+    /// The insertion threshold used.
+    pub f_ins: f64,
+    /// The addition threshold used.
+    pub f_add: f64,
+    /// Pages of the list examined ("Proc.").
+    pub pages_processed: u32,
+    /// Pages read from disk ("Read").
+    pub pages_read: u32,
+}
+
+/// The outcome of one query evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct QueryResult {
+    /// The ranked answers (top `n`).
+    pub hits: Vec<Hit>,
+    /// Counters.
+    pub stats: EvalStats,
+    /// Per-term trace, in processing order.
+    pub trace: Vec<TermTraceRow>,
+}
+
+impl QueryResult {
+    /// Terms in processing order (convenience for trace assertions).
+    pub fn processing_order(&self) -> Vec<TermId> {
+        self.trace.iter().map(|r| r.term).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = EvalStats::default();
+        assert_eq!(s.disk_reads, 0);
+        assert_eq!(s.peak_accumulators, 0);
+    }
+
+    #[test]
+    fn processing_order_reads_trace() {
+        let r = QueryResult {
+            hits: vec![],
+            stats: EvalStats::default(),
+            trace: vec![
+                TermTraceRow {
+                    term: TermId(4),
+                    idf: 1.0,
+                    query_freq: 1,
+                    list_pages: 2,
+                    s_max_before: 0.0,
+                    f_ins: 0.0,
+                    f_add: 0.0,
+                    pages_processed: 2,
+                    pages_read: 2,
+                },
+                TermTraceRow {
+                    term: TermId(1),
+                    idf: 0.5,
+                    query_freq: 1,
+                    list_pages: 1,
+                    s_max_before: 3.0,
+                    f_ins: 1.0,
+                    f_add: 0.1,
+                    pages_processed: 1,
+                    pages_read: 0,
+                },
+            ],
+        };
+        assert_eq!(r.processing_order(), vec![TermId(4), TermId(1)]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipf-distributed sampling over term ranks.
+//!
+//! Term popularity in text famously follows a Zipf law with exponent
+//! ≈ 1; that single fact reproduces the paper's index geometry (see the
+//! crate docs). The sampler precomputes the cumulative distribution
+//! once and draws by binary search — O(log V) per token, deterministic
+//! given the RNG. We implement it here rather than pull in a
+//! distributions crate (the allowed dependency set has `rand` only).
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over ranks `lo..hi` (0-based, `lo`
+/// inclusive, `hi` exclusive): `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    lo: u32,
+    /// Cumulative weights for ranks `lo..hi`, normalized to end at 1.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or `s` is not finite.
+    pub fn new(lo: u32, hi: u32, s: f64) -> Self {
+        assert!(lo < hi, "empty rank range {lo}..{hi}");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity((hi - lo) as usize);
+        let mut acc = 0.0f64;
+        for r in lo..hi {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { lo, cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.lo + idx.min(self.cdf.len() - 1) as u32
+    }
+
+    /// Probability mass of a rank, or 0 outside the range.
+    pub fn pmf(&self, rank: u32) -> f64 {
+        if rank < self.lo {
+            return 0.0;
+        }
+        let i = (rank - self.lo) as usize;
+        match i {
+            0 => self.cdf.first().copied().unwrap_or(0.0),
+            _ => match (self.cdf.get(i), self.cdf.get(i - 1)) {
+                (Some(hi), Some(lo)) => hi - lo,
+                _ => 0.0,
+            },
+        }
+    }
+
+    /// Number of ranks in the support.
+    pub fn support_len(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            assert!((100..1100).contains(&r));
+        }
+    }
+
+    #[test]
+    fn head_ranks_dominate() {
+        let z = Zipf::new(0, 10_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let head = (0..n)
+            .filter(|_| z.sample(&mut rng) < 100)
+            .count() as f64;
+        // With s = 1 and V = 10^4, the top 100 ranks carry
+        // H(100)/H(10000) ≈ 5.19/9.79 ≈ 53 % of the mass.
+        let frac = head / n as f64;
+        assert!((0.45..0.60).contains(&frac), "head fraction {frac}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_decreases() {
+        let z = Zipf::new(5, 105, 1.2);
+        let total: f64 = (5..105).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(5) > z.pmf(6));
+        assert!(z.pmf(6) > z.pmf(104));
+        assert_eq!(z.pmf(4), 0.0);
+        assert_eq!(z.pmf(200), 0.0);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(0, 4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(0, 1000, 1.0);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rank range")]
+    fn empty_range_rejected() {
+        let _ = Zipf::new(5, 5, 1.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The paper's memory-compact conversion table (§3.2.2, footnote 6).
+//!
+//! "Maintaining this conversion table for every term and every possible
+//! value of `f_add` would result in a very large table. In practice,
+//! however, only a fraction of the table needs to be maintained":
+//! in the paper's setup `f_add = 10` is the largest threshold of
+//! importance, entries with `f_{d,t} > 10` are very rarely found outside
+//! the first page, and only 6,060 terms (3.6 %) have more than one page
+//! of data — giving 6,060 × 10 × 2 bytes ≈ 121 KB.
+//!
+//! [`CompactConversionTable`] implements exactly that scheme:
+//!
+//! * a `p_t` row only for **multi-page** terms, covering integer
+//!   thresholds `0..=cap`;
+//! * single-page terms answer from `(n_pages, f_max)` alone (the whole
+//!   list is one page: 1 if anything passes, else 0);
+//! * thresholds above the cap use the paper's rationale — high-frequency
+//!   entries live on the first page, so the scan touches one page
+//!   (unless `f_max` fails, in which case the list is skipped).
+//!
+//! The exact table ([`ConversionTable`](crate::ConversionTable)) remains
+//! the default; this type exists to validate the paper's size/accuracy
+//! trade-off (see the `table4` experiment and the equivalence tests).
+
+use ir_types::{IrError, IrResult, Posting, TermId};
+use std::collections::HashMap;
+
+/// Capped, multi-page-terms-only `f_add → p_t` table.
+#[derive(Debug)]
+pub struct CompactConversionTable {
+    page_size: usize,
+    cap: u32,
+    /// `(n_pages, f_max)` per term (the paper keeps both with the idf
+    /// array anyway; counted separately in [`memory_bytes`]).
+    meta: Vec<(u32, u32)>,
+    /// `p_t` per integer threshold `0..=cap`, multi-page terms only.
+    rows: HashMap<TermId, Vec<u32>>,
+}
+
+impl CompactConversionTable {
+    /// The paper's cap: thresholds above 10 are answered by the
+    /// first-page heuristic.
+    pub const PAPER_CAP: u32 = 10;
+
+    /// Builds the table from frequency-sorted lists (same input as the
+    /// exact table).
+    ///
+    /// # Panics
+    /// Panics if `page_size` is zero.
+    pub fn build<'a>(
+        lists: impl Iterator<Item = &'a [Posting]>,
+        page_size: usize,
+        cap: u32,
+    ) -> Self {
+        assert!(page_size > 0, "page_size must be positive");
+        let mut meta = Vec::new();
+        let mut rows = HashMap::new();
+        for (t, postings) in lists.enumerate() {
+            let n_pages = postings.len().div_ceil(page_size) as u32;
+            let f_max = postings.first().map_or(0, |p| p.freq);
+            meta.push((n_pages, f_max));
+            if n_pages <= 1 {
+                continue;
+            }
+            // p_t per integer threshold: scan once, recording where the
+            // first entry <= f falls.
+            let row: Vec<u32> = (0..=cap)
+                .map(|f| {
+                    if f64::from(f_max) <= f64::from(f) {
+                        return 0;
+                    }
+                    let above = postings.iter().take_while(|p| p.freq > f).count();
+                    if above == postings.len() {
+                        n_pages
+                    } else {
+                        (above / page_size + 1) as u32
+                    }
+                })
+                .collect();
+            rows.insert(TermId(t as u32), row);
+        }
+        CompactConversionTable {
+            page_size,
+            cap,
+            meta,
+            rows,
+        }
+    }
+
+    /// `p_t` under threshold `f_add` (see module docs for the capped
+    /// and single-page fallbacks).
+    pub fn pages_to_process(&self, term: TermId, f_add: f64) -> IrResult<u32> {
+        let &(n_pages, f_max) = self
+            .meta
+            .get(term.index())
+            .ok_or(IrError::UnknownTerm(term))?;
+        if n_pages == 0 || !f_add.is_finite() && f_add > 0.0 {
+            return Ok(0);
+        }
+        if f64::from(f_max) <= f_add {
+            return Ok(0); // skipped without reading (step 3c)
+        }
+        if n_pages == 1 {
+            return Ok(1);
+        }
+        let floor = if f_add < 0.0 { 0 } else { f_add.floor() as u64 };
+        if floor > u64::from(self.cap) {
+            // Paper's rationale: entries that large sit on the head page.
+            return Ok(1);
+        }
+        let row = self.rows.get(&term).expect("multi-page term has a row");
+        Ok(row[floor as usize])
+    }
+
+    /// Table memory: rows only (the paper's 121 KB figure counts 2-byte
+    /// entries for the multi-page rows; `n_pages`/`f_max` live with the
+    /// idf arrays).
+    pub fn memory_bytes(&self) -> usize {
+        self.rows
+            .values()
+            .map(|r| r.len() * std::mem::size_of::<u32>())
+            .sum()
+    }
+
+    /// Number of multi-page terms holding a row.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The configured threshold cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Entries-per-page the table was built for.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Rebuilds the table from a finished index by streaming each
+    /// term's pages back from its disk store (convenient when the
+    /// original postings are gone). Resets the disk counters afterwards
+    /// — reconstruction reads are not query reads.
+    pub fn from_index(index: &crate::InvertedIndex, cap: u32) -> IrResult<Self> {
+        use ir_storage::PageStore;
+        let page_size = index.params().page_size;
+        let mut lists: Vec<Vec<Posting>> = Vec::with_capacity(index.n_terms());
+        for (term, entry) in index.lexicon().iter() {
+            let mut list = Vec::with_capacity(entry.n_postings as usize);
+            for p in 0..entry.n_pages {
+                let page = index.disk().read_page(ir_types::PageId::new(term, p))?;
+                list.extend_from_slice(page.postings());
+            }
+            lists.push(list);
+        }
+        index.disk().reset_stats();
+        Ok(CompactConversionTable::build(
+            lists.iter().map(|l| l.as_slice()),
+            page_size,
+            cap,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conversion::ConversionTable;
+    use ir_types::frequency_order;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn lists(seed: u64, n_terms: usize) -> Vec<Vec<Posting>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n_terms)
+            .map(|_| {
+                let n = rng.gen_range(0..120);
+                let mut v: Vec<Posting> = (0..n)
+                    .map(|d| {
+                        // Skewed: mostly 1s with occasional bursts.
+                        let f = if rng.gen::<f64>() < 0.9 {
+                            rng.gen_range(1..3)
+                        } else {
+                            rng.gen_range(3..30)
+                        };
+                        Posting::new(d, f)
+                    })
+                    .collect();
+                v.sort_by(frequency_order);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_exact_table_below_cap() {
+        let ls = lists(3, 40);
+        let page_size = 7;
+        let exact = ConversionTable::build(ls.iter().map(|l| l.as_slice()), page_size);
+        let compact =
+            CompactConversionTable::build(ls.iter().map(|l| l.as_slice()), page_size, 10);
+        for (t, _) in ls.iter().enumerate() {
+            let term = TermId(t as u32);
+            for f in 0..=10u32 {
+                for frac in [0.0, 0.5, 0.99] {
+                    let f_add = f64::from(f) + frac;
+                    assert_eq!(
+                        compact.pages_to_process(term, f_add).unwrap(),
+                        exact.pages_to_process(term, f_add).unwrap(),
+                        "term {t}, f_add {f_add}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn above_cap_uses_first_page_heuristic() {
+        // 3 pages; f_max = 40 (> cap).
+        let postings: Vec<Posting> = {
+            let mut v = vec![Posting::new(0, 40), Posting::new(1, 12)];
+            v.extend((2..6).map(|d| Posting::new(d, 1)));
+            v
+        };
+        let compact = CompactConversionTable::build(std::iter::once(postings.as_slice()), 2, 10);
+        // f_add = 11 > cap but < f_max: heuristic says 1 page.
+        assert_eq!(compact.pages_to_process(TermId(0), 11.0).unwrap(), 1);
+        // f_add >= f_max: skip.
+        assert_eq!(compact.pages_to_process(TermId(0), 40.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn single_page_terms_need_no_row() {
+        let postings = vec![Posting::new(0, 5), Posting::new(1, 1)];
+        let compact = CompactConversionTable::build(std::iter::once(postings.as_slice()), 404, 10);
+        assert_eq!(compact.n_rows(), 0);
+        assert_eq!(compact.pages_to_process(TermId(0), 0.0).unwrap(), 1);
+        assert_eq!(compact.pages_to_process(TermId(0), 4.0).unwrap(), 1);
+        assert_eq!(compact.pages_to_process(TermId(0), 5.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn memory_is_much_smaller_than_exact() {
+        let ls = lists(9, 200);
+        let exact = ConversionTable::build(ls.iter().map(|l| l.as_slice()), 7);
+        let compact = CompactConversionTable::build(ls.iter().map(|l| l.as_slice()), 7, 10);
+        assert!(
+            compact.memory_bytes() * 2 < exact.memory_bytes(),
+            "compact {} vs exact {}",
+            compact.memory_bytes(),
+            exact.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn unknown_term_errors() {
+        let compact = CompactConversionTable::build(std::iter::empty(), 4, 10);
+        assert!(compact.pages_to_process(TermId(0), 0.0).is_err());
+        assert_eq!(compact.cap(), 10);
+        assert_eq!(compact.page_size(), 4);
+    }
+
+    #[test]
+    fn empty_list_is_never_processed() {
+        let empty: Vec<Posting> = Vec::new();
+        let compact = CompactConversionTable::build(std::iter::once(empty.as_slice()), 4, 10);
+        assert_eq!(compact.pages_to_process(TermId(0), 0.0).unwrap(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Optional forward index: document → term vector.
+//!
+//! The inverted index cannot answer "which terms does document *d*
+//! contain" without scanning every list. Relevance feedback (Rocchio
+//! expansion, §7's future-work workload) needs exactly that lookup, so
+//! the builder can optionally retain the forward mapping. It is opt-in:
+//! at full WSJ scale it costs as much memory as the postings themselves.
+
+use ir_types::{DocId, IrError, IrResult, TermId};
+
+/// Document → `(term, f_{d,t})` vectors, term-id ascending.
+#[derive(Debug, Default)]
+pub struct ForwardIndex {
+    docs: Vec<Vec<(TermId, u32)>>,
+}
+
+impl ForwardIndex {
+    /// Wraps prebuilt vectors (index = document id, each sorted by
+    /// term id).
+    pub fn new(docs: Vec<Vec<(TermId, u32)>>) -> Self {
+        debug_assert!(docs
+            .iter()
+            .all(|d| d.windows(2).all(|w| w[0].0 < w[1].0)));
+        ForwardIndex { docs }
+    }
+
+    /// The term vector of a document.
+    pub fn terms(&self, doc: DocId) -> IrResult<&[(TermId, u32)]> {
+        self.docs
+            .get(doc.index())
+            .map(Vec::as_slice)
+            .ok_or(IrError::UnknownDoc(doc))
+    }
+
+    /// `f_{d,t}` for one (document, term) pair; 0 when absent.
+    pub fn freq(&self, doc: DocId, term: TermId) -> IrResult<u32> {
+        let terms = self.terms(doc)?;
+        Ok(terms
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .map(|i| terms[i].1)
+            .unwrap_or(0))
+    }
+
+    /// Number of documents covered.
+    pub fn n_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.docs
+            .iter()
+            .map(|d| d.len() * std::mem::size_of::<(TermId, u32)>())
+            .sum::<usize>()
+            + self.docs.len() * std::mem::size_of::<Vec<(TermId, u32)>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd() -> ForwardIndex {
+        ForwardIndex::new(vec![
+            vec![(TermId(1), 3), (TermId(4), 1)],
+            vec![(TermId(0), 2)],
+        ])
+    }
+
+    #[test]
+    fn lookups() {
+        let f = fwd();
+        assert_eq!(f.n_docs(), 2);
+        assert_eq!(f.terms(DocId(0)).unwrap().len(), 2);
+        assert_eq!(f.freq(DocId(0), TermId(4)).unwrap(), 1);
+        assert_eq!(f.freq(DocId(0), TermId(2)).unwrap(), 0);
+        assert!(f.terms(DocId(9)).is_err());
+    }
+
+    #[test]
+    fn memory_positive() {
+        assert!(fwd().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! The buffer manager: a fixed pool of page frames in front of a
+//! [`PageStore`], with the paper's two IR-specific extensions —
+//! per-term resident counts (`b_t`) and query-context announcements.
+
+use crate::disk::PageStore;
+use crate::observe::{BufferEvent, BufferObserver};
+use crate::page::Page;
+use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::stats::BufferStats;
+use ir_types::{IrError, IrResult, PageId, TermId};
+use std::collections::HashMap;
+
+/// A buffer pool of `capacity` page frames over a page store.
+///
+/// ```
+/// use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
+/// use ir_types::{PageId, Posting, TermId};
+///
+/// // One term with two pages, pool of one frame.
+/// let pages = vec![vec![
+///     Page::new(PageId::new(TermId(0), 0), vec![Posting::new(0, 3)].into(), 1.0),
+///     Page::new(PageId::new(TermId(0), 1), vec![Posting::new(1, 1)].into(), 1.0),
+/// ]];
+/// let mut pool = BufferManager::new(DiskSim::new(pages), 1, PolicyKind::Lru)?;
+/// pool.fetch(PageId::new(TermId(0), 0))?; // miss
+/// pool.fetch(PageId::new(TermId(0), 0))?; // hit
+/// pool.fetch(PageId::new(TermId(0), 1))?; // miss, evicts page 0
+/// assert_eq!(pool.stats().hits, 1);
+/// assert_eq!(pool.stats().misses, 2);
+/// assert_eq!(pool.resident_pages(TermId(0)), 1); // the b_t counter
+/// # Ok::<(), ir_types::IrError>(())
+/// ```
+///
+/// # Pinning
+///
+/// The evaluator processes one page completely before fetching the next,
+/// so in this single-threaded simulator no page is ever in use while an
+/// eviction runs; pages returned by [`fetch`](BufferManager::fetch) are
+/// `Arc`-backed and stay valid regardless of eviction. An explicit
+/// [`pin`](BufferManager::pin) is provided for callers that need a page
+/// to *stay resident* across other fetches (the multi-user extension
+/// uses it). Note the deliberate asymmetry with the paper's §5.2.1
+/// observation: RAP may evict not-yet-scanned pages of the active list —
+/// nothing protects them here either.
+///
+/// # `b_t` counters
+///
+/// [`resident_pages`](BufferManager::resident_pages) answers "how many
+/// pages of the inverted list for term `t` are in buffers" in O(1),
+/// maintained on every load/evict — the implementation §3.2.2 calls for
+/// ("a hash-table or an array of counters, which are updated whenever a
+/// page is moved in or out of buffers").
+#[derive(Debug)]
+pub struct BufferManager<S: PageStore> {
+    store: S,
+    capacity: usize,
+    frames: HashMap<PageId, Page>,
+    policy: Box<dyn ReplacementPolicy>,
+    policy_kind: PolicyKind,
+    resident_per_term: HashMap<TermId, u32>,
+    pinned: Option<PageId>,
+    stats: BufferStats,
+    observer: Option<Box<dyn BufferObserver>>,
+}
+
+impl<S: PageStore> BufferManager<S> {
+    /// Creates a pool of `capacity` frames with the given policy.
+    ///
+    /// # Errors
+    /// [`IrError::EmptyBufferPool`] if `capacity` is zero.
+    pub fn new(store: S, capacity: usize, policy: PolicyKind) -> IrResult<Self> {
+        if capacity == 0 {
+            return Err(IrError::EmptyBufferPool);
+        }
+        Ok(BufferManager {
+            store,
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            policy: policy.build(capacity),
+            policy_kind: policy,
+            resident_per_term: HashMap::new(),
+            pinned: None,
+            stats: BufferStats::default(),
+            observer: None,
+        })
+    }
+
+    /// Fetches a page through the pool, counting a hit or a disk read.
+    pub fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        self.stats.requests += 1;
+        if let Some(page) = self.frames.get(&id) {
+            let page = page.clone();
+            self.stats.hits += 1;
+            self.policy.on_hit(&page);
+            self.notify(BufferEvent::Hit(id));
+            return Ok(page);
+        }
+        // Miss: make room first, then read.
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        let page = self.store.read_page(id)?;
+        self.stats.misses += 1;
+        self.frames.insert(id, page.clone());
+        *self.resident_per_term.entry(id.term).or_insert(0) += 1;
+        self.policy.on_insert(&page);
+        self.notify(BufferEvent::Load(id));
+        Ok(page)
+    }
+
+    #[inline]
+    fn notify(&mut self, event: BufferEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs.event(event);
+        }
+    }
+
+    fn evict_one(&mut self) -> IrResult<()> {
+        let victim = self
+            .policy
+            .choose_victim(self.pinned)
+            .ok_or(IrError::NoEvictableFrame)?;
+        debug_assert!(
+            self.frames.contains_key(&victim),
+            "policy returned a non-resident victim"
+        );
+        self.frames.remove(&victim);
+        self.stats.evictions += 1;
+        self.notify(BufferEvent::Evict(victim));
+        if let Some(count) = self.resident_per_term.get_mut(&victim.term) {
+            *count -= 1;
+            if *count == 0 {
+                self.resident_per_term.remove(&victim.term);
+            }
+        }
+        Ok(())
+    }
+
+    /// `b_t`: number of pages of `term`'s inverted list currently in the
+    /// pool. O(1).
+    #[inline]
+    pub fn resident_pages(&self, term: TermId) -> u32 {
+        self.resident_per_term.get(&term).copied().unwrap_or(0)
+    }
+
+    /// Is a specific page resident?
+    #[inline]
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.frames.contains_key(&id)
+    }
+
+    /// Announces the term weights `w_{q,t}` of the query about to be
+    /// evaluated. RAP re-values all resident pages; other policies
+    /// ignore it.
+    pub fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        self.policy.begin_query(weights);
+    }
+
+    /// Pins one page so it cannot be evicted; pass `None` to unpin.
+    pub fn pin(&mut self, id: Option<PageId>) {
+        self.pinned = id;
+    }
+
+    /// Empties the pool (the paper flushes buffers between refinement
+    /// *sequences*, never between refinements). Statistics survive;
+    /// use [`reset_stats`](Self::reset_stats) to zero them.
+    pub fn flush(&mut self) {
+        self.frames.clear();
+        self.resident_per_term.clear();
+        self.policy.clear();
+        self.pinned = None;
+        self.notify(BufferEvent::Flush);
+    }
+
+    /// Attaches an event observer (replacing any previous one).
+    pub fn set_observer(&mut self, observer: Box<dyn BufferObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn BufferObserver>> {
+        self.observer.take()
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Number of frames in use.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` when no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Pool capacity in pages (`BufferSize` in Table 3).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured replacement policy.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy_kind
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSim;
+    use crate::page::Page;
+    use ir_types::Posting;
+
+    /// `n_terms` lists × `pages_per_term` pages; page p of any term has
+    /// max_freq = pages_per_term - p (decreasing along the list).
+    fn store(n_terms: u32, pages_per_term: u32) -> DiskSim {
+        let lists = (0..n_terms)
+            .map(|t| {
+                (0..pages_per_term)
+                    .map(|p| {
+                        let postings: Vec<Posting> = vec![Posting::new(p, pages_per_term - p)];
+                        Page::new(PageId::new(TermId(t), p), postings.into(), 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        DiskSim::new(lists)
+    }
+
+    fn pid(t: u32, p: u32) -> PageId {
+        PageId::new(TermId(t), p)
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(matches!(
+            BufferManager::new(store(1, 1), 0, PolicyKind::Lru),
+            Err(IrError::EmptyBufferPool)
+        ));
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut bm = BufferManager::new(store(1, 3), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap(); // miss
+        bm.fetch(pid(0, 0)).unwrap(); // hit
+        bm.fetch(pid(0, 1)).unwrap(); // miss
+        let s = bm.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 0);
+        // Buffer misses == disk reads.
+        assert_eq!(bm.store().stats().reads, 2);
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let mut bm = BufferManager::new(store(1, 5), 2, PolicyKind::Lru).unwrap();
+        for p in 0..5 {
+            bm.fetch(pid(0, p)).unwrap();
+        }
+        assert_eq!(bm.len(), 2);
+        assert_eq!(bm.stats().evictions, 3);
+    }
+
+    #[test]
+    fn resident_counters_track_loads_and_evictions() {
+        let mut bm = BufferManager::new(store(2, 3), 3, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.fetch(pid(0, 1)).unwrap();
+        bm.fetch(pid(1, 0)).unwrap();
+        assert_eq!(bm.resident_pages(TermId(0)), 2);
+        assert_eq!(bm.resident_pages(TermId(1)), 1);
+        // Next fetch evicts LRU = t0:p0.
+        bm.fetch(pid(1, 1)).unwrap();
+        assert_eq!(bm.resident_pages(TermId(0)), 1);
+        assert_eq!(bm.resident_pages(TermId(1)), 2);
+        bm.flush();
+        assert_eq!(bm.resident_pages(TermId(0)), 0);
+        assert_eq!(bm.resident_pages(TermId(1)), 0);
+    }
+
+    #[test]
+    fn capacity_one_pool_works() {
+        // The paper's buffer-size sweep starts at 1 page.
+        let mut bm = BufferManager::new(store(1, 4), 1, PolicyKind::Lru).unwrap();
+        for p in 0..4 {
+            bm.fetch(pid(0, p)).unwrap();
+        }
+        assert_eq!(bm.len(), 1);
+        assert_eq!(bm.stats().misses, 4);
+        // Rescan: every fetch misses again (sequential flooding).
+        for p in 0..4 {
+            bm.fetch(pid(0, p)).unwrap();
+        }
+        assert_eq!(bm.stats().misses, 8);
+    }
+
+    #[test]
+    fn explicit_pin_survives_fetches() {
+        let mut bm = BufferManager::new(store(1, 4), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.pin(Some(pid(0, 0)));
+        bm.fetch(pid(0, 1)).unwrap();
+        bm.fetch(pid(0, 2)).unwrap();
+        bm.fetch(pid(0, 3)).unwrap();
+        assert!(bm.is_resident(pid(0, 0)), "pinned page must survive");
+        bm.pin(None);
+        bm.fetch(pid(0, 1)).unwrap();
+        bm.fetch(pid(0, 2)).unwrap();
+        assert!(!bm.is_resident(pid(0, 0)));
+    }
+
+    #[test]
+    fn capacity_one_with_pin_errors() {
+        let mut bm = BufferManager::new(store(1, 2), 1, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.pin(Some(pid(0, 0)));
+        assert!(matches!(bm.fetch(pid(0, 1)), Err(IrError::NoEvictableFrame)));
+    }
+
+    #[test]
+    fn rap_eviction_order_in_pool() {
+        let mut bm = BufferManager::new(store(2, 3), 3, PolicyKind::Rap).unwrap();
+        // Query uses term 0 only.
+        let weights: HashMap<TermId, f64> = [(TermId(0), 1.0)].into_iter().collect();
+        bm.begin_query(&weights);
+        bm.fetch(pid(0, 0)).unwrap(); // value: 3·1 = 3
+        bm.fetch(pid(0, 2)).unwrap(); // value: 1·1 = 1
+        bm.fetch(pid(1, 0)).unwrap(); // term 1 not in query: value 0
+        // Next fetch evicts the zero-valued dropped-term page first.
+        bm.fetch(pid(0, 1)).unwrap();
+        assert!(!bm.is_resident(pid(1, 0)));
+        assert!(bm.is_resident(pid(0, 0)));
+        assert!(bm.is_resident(pid(0, 2)));
+    }
+
+    #[test]
+    fn flush_keeps_stats_reset_clears_them() {
+        let mut bm = BufferManager::new(store(1, 2), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.flush();
+        assert_eq!(bm.stats().misses, 1);
+        assert!(bm.is_empty());
+        bm.reset_stats();
+        assert_eq!(bm.stats(), BufferStats::default());
+    }
+
+    #[test]
+    fn refetch_after_flush_is_a_miss() {
+        let mut bm = BufferManager::new(store(1, 1), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.flush();
+        bm.fetch(pid(0, 0)).unwrap();
+        assert_eq!(bm.stats().misses, 2);
+    }
+
+    #[test]
+    fn all_policies_respect_capacity_under_random_workload() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        for kind in PolicyKind::ALL {
+            let mut bm = BufferManager::new(store(4, 8), 5, kind).unwrap();
+            let mut rng = SmallRng::seed_from_u64(42);
+            for _ in 0..500 {
+                let t = rng.gen_range(0..4);
+                let p = rng.gen_range(0..8);
+                bm.fetch(pid(t, p)).unwrap();
+                assert!(bm.len() <= 5, "{kind} overflowed the pool");
+            }
+            let s = bm.stats();
+            assert_eq!(s.requests, 500);
+            assert_eq!(s.hits + s.misses, 500);
+            assert_eq!(s.misses, bm.store().stats().reads, "{kind} miss/disk mismatch");
+            // b_t counters must sum to pool occupancy.
+            let total: u32 = (0..4).map(|t| bm.resident_pages(TermId(t))).sum();
+            assert_eq!(total as usize, bm.len(), "{kind} b_t drift");
+        }
+    }
+
+    /// A store that fails every read after the first `allow` fetches —
+    /// exercises the error path through the pool.
+    #[derive(Debug)]
+    struct FailingStore {
+        inner: DiskSim,
+        allow: std::cell::Cell<u32>,
+    }
+
+    impl PageStore for FailingStore {
+        fn read_page(&self, id: PageId) -> IrResult<Page> {
+            if self.allow.get() == 0 {
+                return Err(IrError::CorruptPage {
+                    page: id,
+                    reason: "injected failure".into(),
+                });
+            }
+            self.allow.set(self.allow.get() - 1);
+            self.inner.read_page(id)
+        }
+        fn list_len(&self, term: TermId) -> Option<u32> {
+            self.inner.list_len(term)
+        }
+        fn n_lists(&self) -> usize {
+            self.inner.n_lists()
+        }
+    }
+
+    #[test]
+    fn store_errors_propagate_without_corrupting_the_pool() {
+        let failing = FailingStore {
+            inner: store(1, 4),
+            allow: std::cell::Cell::new(2),
+        };
+        let mut bm = BufferManager::new(failing, 4, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.fetch(pid(0, 1)).unwrap();
+        // Third read fails; the pool must stay consistent.
+        let err = bm.fetch(pid(0, 2)).unwrap_err();
+        assert!(matches!(err, IrError::CorruptPage { .. }));
+        assert_eq!(bm.len(), 2, "failed read must not occupy a frame");
+        assert_eq!(bm.resident_pages(TermId(0)), 2, "b_t must not drift on failure");
+        let s = bm.stats();
+        assert_eq!(s.misses, 2, "a failed read is not a completed miss");
+        // The resident pages are still served from the pool.
+        bm.fetch(pid(0, 0)).unwrap();
+        assert_eq!(bm.stats().hits, 1);
+    }
+
+    #[test]
+    fn failed_read_after_eviction_keeps_counters_consistent() {
+        // Capacity 1: fetching a new page evicts first, THEN the read
+        // fails — the pool ends up empty but consistent.
+        let failing = FailingStore {
+            inner: store(1, 3),
+            allow: std::cell::Cell::new(1),
+        };
+        let mut bm = BufferManager::new(failing, 1, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        assert!(bm.fetch(pid(0, 1)).is_err());
+        assert_eq!(bm.len(), 0, "victim was evicted, replacement failed");
+        assert_eq!(bm.resident_pages(TermId(0)), 0);
+        assert_eq!(bm.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hits_never_touch_disk() {
+        for kind in PolicyKind::ALL {
+            let mut bm = BufferManager::new(store(1, 2), 4, kind).unwrap();
+            bm.fetch(pid(0, 0)).unwrap();
+            let before = bm.store().stats().reads;
+            for _ in 0..10 {
+                bm.fetch(pid(0, 0)).unwrap();
+            }
+            assert_eq!(bm.store().stats().reads, before, "{kind}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The unit of disk transfer: one page of a frequency-sorted inverted
+//! list.
+
+use ir_types::{PageId, Posting};
+use std::sync::Arc;
+
+/// A disk page holding up to `PageSize` `(d, f_{d,t})` entries of one
+/// term's inverted list. The paper's organization is frequency order
+/// (`f_{d,t}` descending); the traditional doc-id order is also
+/// supported (see [`ListOrdering`](ir_types::ListOrdering)).
+///
+/// Two pieces of metadata ride on the page, both computed at index
+/// build time (the paper's "database creation/update time", §3.3):
+///
+/// * [`max_freq`](Page::max_freq) — the largest `f_{d,t}` on the page;
+/// * [`max_weight`](Page::max_weight) — `w*_{d,t} = max_freq · idf_t`,
+///   the quantity RAP multiplies with the current query's `w_{q,t}` to
+///   obtain the page's replacement value.
+///
+/// Postings are shared via `Arc` so that the buffer manager, the disk
+/// simulator and an evaluator holding a page under scan can all refer to
+/// the same allocation; "copying" a page is a pointer bump.
+#[derive(Clone, Debug)]
+pub struct Page {
+    id: PageId,
+    postings: Arc<[Posting]>,
+    max_freq: u32,
+    max_weight: f64,
+}
+
+impl Page {
+    /// Creates a page. `idf` is the term's inverse document frequency,
+    /// used to precompute the RAP value component.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `postings` is empty — the index builder
+    /// never emits an empty page.
+    pub fn new(id: PageId, postings: Arc<[Posting]>, idf: f64) -> Self {
+        debug_assert!(!postings.is_empty(), "pages are never empty");
+        let max_freq = postings.iter().map(|p| p.freq).max().unwrap_or(0);
+        Page {
+            id,
+            postings,
+            max_freq,
+            max_weight: ir_types::weights::term_weight(max_freq, idf),
+        }
+    }
+
+    /// The page's address.
+    #[inline]
+    pub fn id(&self) -> PageId {
+        self.id
+    }
+
+    /// The decoded entries, in frequency order.
+    #[inline]
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Number of entries on the page.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Pages are never empty, but the method exists for completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Largest `f_{d,t}` on the page.
+    #[inline]
+    pub fn max_freq(&self) -> u32 {
+        self.max_freq
+    }
+
+    /// Smallest `f_{d,t}` on the page — useful for deciding whether a
+    /// threshold cut falls inside this page.
+    #[inline]
+    pub fn min_freq(&self) -> u32 {
+        self.postings.iter().map(|p| p.freq).min().unwrap_or(0)
+    }
+
+    /// `w*_{d,t}` — the highest document term weight on the page,
+    /// precomputed at build time for RAP (§3.3, Eq. 6).
+    #[inline]
+    pub fn max_weight(&self) -> f64 {
+        self.max_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_types::TermId;
+
+    fn page(entries: &[(u32, u32)], idf: f64) -> Page {
+        let postings: Vec<Posting> = entries.iter().map(|&(d, f)| Posting::new(d, f)).collect();
+        Page::new(PageId::new(TermId(7), 0), postings.into(), idf)
+    }
+
+    #[test]
+    fn metadata_reflects_first_and_last_entries() {
+        let p = page(&[(3, 9), (1, 5), (2, 5), (8, 1)], 2.0);
+        assert_eq!(p.max_freq(), 9);
+        assert_eq!(p.min_freq(), 1);
+        assert_eq!(p.len(), 4);
+        assert!((p.max_weight() - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_shares_postings() {
+        let p = page(&[(1, 2)], 1.0);
+        let q = p.clone();
+        assert!(
+            std::ptr::eq(p.postings().as_ptr(), q.postings().as_ptr()),
+            "cloned pages must share the posting allocation"
+        );
+    }
+
+    #[test]
+    fn metadata_is_order_independent() {
+        // A doc-ordered page (frequencies not monotone) still reports
+        // the true maximum, which is what RAP's value needs.
+        let p = page(&[(1, 1), (2, 5), (3, 2)], 2.0);
+        assert_eq!(p.max_freq(), 5);
+        assert_eq!(p.min_freq(), 1);
+        assert!((p.max_weight() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! The Ranking-Aware Policy (RAP) — the paper's proposal (§3.3, Eq. 6).
+//!
+//! Every resident page is valued at
+//!
+//! ```text
+//! replacement_value = w*_{d,t} · w_{q,t}
+//! ```
+//!
+//! where `w*_{d,t}` is the highest document term weight stored on the
+//! page (precomputed at index build time and carried by
+//! [`Page::max_weight`]) and `w_{q,t}` is the weight of the page's term
+//! in the **query currently being processed**. The victim is the page
+//! with the lowest value.
+//!
+//! Consequences the paper calls out, all encoded here:
+//! * head pages of a list (largest `f_{d,t}`) have the highest value and
+//!   are kept — every query touching the term needs them;
+//! * terms **dropped** during refinement have `w_{q,t} = 0`, so their
+//!   pages value to 0 and are evicted first;
+//! * among zero/equal values, the **tail is evicted before the head**
+//!   (tie-break: higher page number first);
+//! * values are query-dependent, so [`Rap::begin_query`] re-values every
+//!   resident page ("a reorganizing capability is required").
+//!
+//! The value queue is a `BTreeMap` keyed by (value, ¬page-no, term):
+//! footnote 8 notes full ordering is not strictly required, but at
+//! simulator scale an exactly ordered queue is cheap and deterministic.
+
+use super::{OrdF64, ReplacementPolicy};
+use crate::page::Page;
+use ir_types::{PageId, TermId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, HashMap};
+
+/// Ordering key: ascending value; within equal values evict the highest
+/// page number first (tail before head), then lower term id for
+/// determinism.
+type RapKey = (OrdF64, Reverse<u32>, u32);
+
+/// RAP replacement.
+#[derive(Debug, Default)]
+pub struct Rap {
+    /// `w_{q,t}` of the query being processed; absent terms weigh 0.
+    query_weights: HashMap<TermId, f64>,
+    /// Value-ordered queue of resident pages.
+    by_value: BTreeMap<RapKey, PageId>,
+    /// Reverse lookup: resident page → its current key.
+    keys: HashMap<PageId, RapKey>,
+    /// `w*_{d,t}` per resident page, kept so pages can be re-valued when
+    /// the query changes.
+    max_weights: HashMap<PageId, f64>,
+}
+
+impl Rap {
+    /// Creates the policy with an empty query context (all values 0).
+    pub fn new() -> Self {
+        Rap::default()
+    }
+
+    fn value_of(&self, id: PageId, max_weight: f64) -> f64 {
+        let wq = self.query_weights.get(&id.term).copied().unwrap_or(0.0);
+        max_weight * wq
+    }
+
+    fn key_of(&self, id: PageId, max_weight: f64) -> RapKey {
+        (
+            OrdF64(self.value_of(id, max_weight)),
+            Reverse(id.page.0),
+            id.term.0,
+        )
+    }
+
+    fn insert_keyed(&mut self, id: PageId, max_weight: f64) {
+        let key = self.key_of(id, max_weight);
+        self.by_value.insert(key, id);
+        self.keys.insert(id, key);
+        self.max_weights.insert(id, max_weight);
+    }
+
+    /// Current replacement value of a resident page (for tests and
+    /// instrumentation).
+    pub fn current_value(&self, id: PageId) -> Option<f64> {
+        self.keys.get(&id).map(|k| k.0 .0)
+    }
+}
+
+impl ReplacementPolicy for Rap {
+    fn name(&self) -> &'static str {
+        "RAP"
+    }
+
+    fn on_insert(&mut self, page: &Page) {
+        self.insert_keyed(page.id(), page.max_weight());
+    }
+
+    fn on_hit(&mut self, _page: &Page) {
+        // Value is determined by data + query, not recency: a hit
+        // changes nothing.
+    }
+
+    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId> {
+        let victim = self
+            .by_value.values().copied()
+            .find(|id| Some(*id) != pinned)?;
+        let key = self.keys.remove(&victim).expect("resident page has a key");
+        self.by_value.remove(&key);
+        self.max_weights.remove(&victim);
+        Some(victim)
+    }
+
+    fn remove(&mut self, id: PageId) {
+        if let Some(key) = self.keys.remove(&id) {
+            self.by_value.remove(&key);
+            self.max_weights.remove(&id);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.query_weights.clear();
+        self.by_value.clear();
+        self.keys.clear();
+        self.max_weights.clear();
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        self.query_weights = weights.clone();
+        // Reorganize: re-key every resident page under the new weights.
+        let resident: Vec<(PageId, f64)> = self
+            .max_weights
+            .iter()
+            .map(|(id, w)| (*id, *w))
+            .collect();
+        self.by_value.clear();
+        self.keys.clear();
+        for (id, w) in resident {
+            self.insert_keyed(id, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::page;
+    use super::*;
+
+    fn weights(pairs: &[(u32, f64)]) -> HashMap<TermId, f64> {
+        pairs.iter().map(|&(t, w)| (TermId(t), w)).collect()
+    }
+
+    #[test]
+    fn lowest_value_is_victim() {
+        let mut p = Rap::new();
+        // Term 0 with idf 2.0: head page max_freq 9 (w*=18), tail page
+        // max_freq 2 (w*=4).
+        let head = page(0, 0, 9, 2.0);
+        let tail = page(0, 3, 2, 2.0);
+        p.on_insert(&head);
+        p.on_insert(&tail);
+        p.begin_query(&weights(&[(0, 1.0)]));
+        assert_eq!(p.choose_victim(None), Some(tail.id()));
+        assert_eq!(p.choose_victim(None), Some(head.id()));
+    }
+
+    #[test]
+    fn dropped_terms_value_zero_and_go_first() {
+        let mut p = Rap::new();
+        let kept = page(0, 0, 1, 1.0); // tiny w*, but in query
+        let dropped_head = page(1, 0, 100, 10.0); // huge w*, not in query
+        p.on_insert(&kept);
+        p.on_insert(&dropped_head);
+        p.begin_query(&weights(&[(0, 0.5)]));
+        assert_eq!(
+            p.choose_victim(None),
+            Some(dropped_head.id()),
+            "pages of dropped terms must be evicted first regardless of data value"
+        );
+    }
+
+    #[test]
+    fn tail_evicted_before_head_on_value_ties() {
+        let mut p = Rap::new();
+        // Same term, same max_freq on both pages → identical values.
+        let head = page(0, 0, 5, 1.0);
+        let tail = page(0, 7, 5, 1.0);
+        p.on_insert(&head);
+        p.on_insert(&tail);
+        p.begin_query(&weights(&[(0, 1.0)]));
+        assert_eq!(p.choose_victim(None), Some(tail.id()));
+        // Also holds for the all-zero no-query state.
+        let mut q = Rap::new();
+        q.on_insert(&head);
+        q.on_insert(&tail);
+        assert_eq!(q.choose_victim(None), Some(tail.id()));
+    }
+
+    #[test]
+    fn requery_reorganizes_values() {
+        let mut p = Rap::new();
+        let a = page(0, 0, 5, 1.0); // w* = 5
+        let b = page(1, 0, 3, 1.0); // w* = 3
+        p.on_insert(&a);
+        p.on_insert(&b);
+        p.begin_query(&weights(&[(0, 1.0), (1, 1.0)]));
+        assert_eq!(p.current_value(a.id()), Some(5.0));
+        assert_eq!(p.current_value(b.id()), Some(3.0));
+        // Refinement drops term 0 and boosts term 1.
+        p.begin_query(&weights(&[(1, 10.0)]));
+        assert_eq!(p.current_value(a.id()), Some(0.0));
+        assert_eq!(p.current_value(b.id()), Some(30.0));
+        assert_eq!(p.choose_victim(None), Some(a.id()));
+    }
+
+    #[test]
+    fn hits_do_not_change_order() {
+        let mut p = Rap::new();
+        let a = page(0, 0, 5, 1.0);
+        let b = page(0, 1, 1, 1.0);
+        p.on_insert(&a);
+        p.on_insert(&b);
+        p.begin_query(&weights(&[(0, 1.0)]));
+        for _ in 0..5 {
+            p.on_hit(&b);
+        }
+        assert_eq!(p.choose_victim(None), Some(b.id()), "recency is irrelevant to RAP");
+    }
+
+    #[test]
+    fn pinned_page_skipped() {
+        let mut p = Rap::new();
+        let a = page(0, 0, 5, 1.0);
+        let b = page(0, 1, 1, 1.0);
+        p.on_insert(&a);
+        p.on_insert(&b);
+        assert_eq!(p.choose_victim(Some(b.id())), Some(a.id()));
+        assert_eq!(p.choose_victim(Some(b.id())), None);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut p = Rap::new();
+        let a = page(0, 0, 5, 1.0);
+        p.on_insert(&a);
+        p.remove(a.id());
+        assert_eq!(p.choose_victim(None), None);
+        p.on_insert(&a);
+        p.clear();
+        assert_eq!(p.choose_victim(None), None);
+        assert!(p.query_weights.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! 2Q [JS94] (extension; §6 discussion).
+//!
+//! The "full version" of 2Q: new pages enter a FIFO probation queue
+//! `A1in`; on eviction from probation their *identity* is remembered in
+//! a ghost queue `A1out`; a page re-faulted while ghosted is promoted to
+//! the protected LRU queue `Am`. Hits inside `A1in` deliberately do not
+//! promote (that is 2Q's scan resistance). Queue bounds follow the
+//! paper's recommendation: `Kin = capacity/4`, `Kout = capacity/2`.
+
+use super::tick::TickQueue;
+use super::ReplacementPolicy;
+use crate::page::Page;
+use ir_types::PageId;
+use std::collections::{HashSet, VecDeque};
+
+/// 2Q replacement.
+#[derive(Debug)]
+pub struct TwoQ {
+    kin: usize,
+    kout: usize,
+    a1in: VecDeque<PageId>,
+    a1in_set: HashSet<PageId>,
+    a1out: VecDeque<PageId>,
+    a1out_set: HashSet<PageId>,
+    am: TickQueue,
+}
+
+impl TwoQ {
+    /// Creates the policy sized for a pool of `capacity` pages.
+    pub fn new(capacity: usize) -> Self {
+        TwoQ {
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+            a1in: VecDeque::new(),
+            a1in_set: HashSet::new(),
+            a1out: VecDeque::new(),
+            a1out_set: HashSet::new(),
+            am: TickQueue::new(),
+        }
+    }
+
+    fn ghost(&mut self, id: PageId) {
+        self.a1out.push_back(id);
+        self.a1out_set.insert(id);
+        while self.a1out.len() > self.kout {
+            if let Some(old) = self.a1out.pop_front() {
+                self.a1out_set.remove(&old);
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for TwoQ {
+    fn name(&self) -> &'static str {
+        "2Q"
+    }
+
+    fn on_insert(&mut self, page: &Page) {
+        let id = page.id();
+        if self.a1out_set.contains(&id) {
+            // Re-fault of a ghosted page: promote to the protected queue.
+            self.a1out.retain(|p| *p != id);
+            self.a1out_set.remove(&id);
+            self.am.touch(id);
+        } else if !self.a1in_set.contains(&id) && !self.am.contains(id) {
+            self.a1in.push_back(id);
+            self.a1in_set.insert(id);
+        }
+    }
+
+    fn on_hit(&mut self, page: &Page) {
+        let id = page.id();
+        if self.am.contains(id) {
+            self.am.touch(id);
+        }
+        // Hits in A1in are intentionally ignored (scan resistance).
+    }
+
+    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId> {
+        if self.a1in.len() > self.kin || self.am.len() == 0 {
+            // Evict from probation, remembering the identity.
+            let mut skipped = None;
+            let victim = loop {
+                match self.a1in.pop_front() {
+                    Some(id) if Some(id) == pinned => skipped = Some(id),
+                    other => break other,
+                }
+            };
+            if let Some(p) = skipped {
+                self.a1in.push_front(p);
+            }
+            if let Some(id) = victim {
+                self.a1in_set.remove(&id);
+                self.ghost(id);
+                return Some(id);
+            }
+        }
+        // Probation empty (or pinned): evict the protected LRU page.
+        self.am.pop_oldest(pinned)
+    }
+
+    fn remove(&mut self, id: PageId) {
+        if self.a1in_set.remove(&id) {
+            self.a1in.retain(|p| *p != id);
+        }
+        self.am.remove(id);
+    }
+
+    fn clear(&mut self) {
+        self.a1in.clear();
+        self.a1in_set.clear();
+        self.a1out.clear();
+        self.a1out_set.clear();
+        self.am.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::page;
+    use super::*;
+
+    #[test]
+    fn probation_is_fifo_and_hits_do_not_promote() {
+        let mut p = TwoQ::new(8); // kin = 2
+        let a = page(0, 0, 1, 1.0);
+        let b = page(0, 1, 1, 1.0);
+        let c = page(0, 2, 1, 1.0);
+        p.on_insert(&a);
+        p.on_insert(&b);
+        p.on_insert(&c);
+        p.on_hit(&a); // no effect: still probation FIFO order
+        assert_eq!(p.choose_victim(None), Some(a.id()));
+    }
+
+    #[test]
+    fn refault_of_ghosted_page_promotes_to_protected() {
+        let mut p = TwoQ::new(8);
+        let a = page(0, 0, 1, 1.0);
+        let b = page(0, 1, 1, 1.0);
+        let c = page(0, 2, 1, 1.0);
+        p.on_insert(&a);
+        p.on_insert(&b);
+        p.on_insert(&c);
+        assert_eq!(p.choose_victim(None), Some(a.id())); // a ghosted
+        p.on_insert(&a); // re-fault: promoted to Am
+        // Probation (b, c) is over kin? len 2 == kin → not over, and Am
+        // nonempty, so victim comes from probation only if > kin. Am LRU
+        // is a... but b is older in probation. With len == kin the
+        // protected queue is victimized.
+        assert_eq!(p.choose_victim(None), Some(a.id()));
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut p = TwoQ::new(4); // kout = 2
+        for i in 0..5 {
+            let pg = page(0, i, 1, 1.0);
+            p.on_insert(&pg);
+            p.choose_victim(None);
+        }
+        assert!(p.a1out.len() <= 2);
+        assert_eq!(p.a1out.len(), p.a1out_set.len());
+    }
+
+    #[test]
+    fn empty_policy_returns_none() {
+        let mut p = TwoQ::new(4);
+        assert_eq!(p.choose_victim(None), None);
+    }
+
+    #[test]
+    fn pinned_probation_page_survives() {
+        let mut p = TwoQ::new(4); // kin = 1
+        let a = page(0, 0, 1, 1.0);
+        let b = page(0, 1, 1, 1.0);
+        p.on_insert(&a);
+        p.on_insert(&b);
+        assert_eq!(p.choose_victim(Some(a.id())), Some(b.id()));
+        assert!(p.a1in_set.contains(&a.id()));
+    }
+}

@@ -1,0 +1,87 @@
+//! Buffer-manager counters.
+
+use serde::Serialize;
+
+/// Cumulative buffer-pool statistics.
+///
+/// `misses` equals the number of disk reads issued through the pool —
+/// the paper's headline metric. Experiments take [`BufferStats`]
+/// snapshots before and after a refinement and report the delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct BufferStats {
+    /// Page requests served (hits + misses).
+    pub requests: u64,
+    /// Requests satisfied from the pool.
+    pub hits: u64,
+    /// Requests that went to disk (page reads).
+    pub misses: u64,
+    /// Pages pushed out to make room.
+    pub evictions: u64,
+}
+
+impl BufferStats {
+    /// Difference `self − earlier`, for per-query accounting.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not actually earlier
+    /// (any counter larger than in `self`).
+    pub fn since(&self, earlier: &BufferStats) -> BufferStats {
+        debug_assert!(self.requests >= earlier.requests);
+        debug_assert!(self.hits >= earlier.hits);
+        debug_assert!(self.misses >= earlier.misses);
+        debug_assert!(self.evictions >= earlier.evictions);
+        BufferStats {
+            requests: self.requests - earlier.requests,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when no requests have been made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let early = BufferStats {
+            requests: 10,
+            hits: 6,
+            misses: 4,
+            evictions: 2,
+        };
+        let late = BufferStats {
+            requests: 25,
+            hits: 16,
+            misses: 9,
+            evictions: 5,
+        };
+        let d = late.since(&early);
+        assert_eq!(d.requests, 15);
+        assert_eq!(d.hits, 10);
+        assert_eq!(d.misses, 5);
+        assert_eq!(d.evictions, 3);
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        assert_eq!(BufferStats::default().hit_ratio(), 0.0);
+        let s = BufferStats {
+            requests: 4,
+            hits: 3,
+            misses: 1,
+            evictions: 0,
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

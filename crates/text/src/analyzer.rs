@@ -1,0 +1,147 @@
+//! The end-to-end analysis pipeline of §4.2: tokenize → drop non-words →
+//! lower-case → remove stop words → stem.
+//!
+//! Documents and queries **must** share one [`Analyzer`] instance (or
+//! equal configurations): the paper derives query terms "using the same
+//! procedure as was used to construct the inverted index" (§5.1.1).
+
+use crate::porter;
+use crate::stopwords::StopList;
+use crate::tokenizer::Tokenizer;
+
+/// Configurable text-analysis pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    stop_list: StopList,
+    stemming: bool,
+}
+
+/// Builder for [`Analyzer`].
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzerBuilder {
+    stop_list: StopList,
+    stemming: bool,
+}
+
+impl AnalyzerBuilder {
+    /// Starts from an empty configuration (no stop words, no stemming).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the stop list.
+    pub fn stop_list(mut self, stop_list: StopList) -> Self {
+        self.stop_list = stop_list;
+        self
+    }
+
+    /// Enables or disables Porter stemming.
+    pub fn stemming(mut self, on: bool) -> Self {
+        self.stemming = on;
+        self
+    }
+
+    /// Finalizes the analyzer.
+    pub fn build(self) -> Analyzer {
+        Analyzer {
+            stop_list: self.stop_list,
+            stemming: self.stemming,
+        }
+    }
+}
+
+impl Analyzer {
+    /// The paper's configuration: stop-word removal plus Porter
+    /// stemming. The stop list is a parameter because the paper derives
+    /// it from collection statistics (top-100 by `f_t`).
+    pub fn paper(stop_list: StopList) -> Self {
+        AnalyzerBuilder::new().stop_list(stop_list).stemming(true).build()
+    }
+
+    /// A pipeline with the standard English stop list and stemming —
+    /// a sensible default for indexing real text.
+    pub fn english() -> Self {
+        Analyzer::paper(StopList::standard())
+    }
+
+    /// Tokenize-only pipeline (no stop words, no stemming); used for the
+    /// frequency pass that derives a collection stop list.
+    pub fn raw() -> Self {
+        AnalyzerBuilder::new().build()
+    }
+
+    /// Runs the full pipeline over `text`, returning index terms in
+    /// occurrence order (duplicates preserved — the caller counts
+    /// `f_{d,t}`).
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        Tokenizer::new(text)
+            .filter(|tok| !self.stop_list.contains(tok))
+            .map(|tok| {
+                if self.stemming {
+                    porter::stem(&tok)
+                } else {
+                    tok
+                }
+            })
+            .collect()
+    }
+
+    /// Access to the configured stop list.
+    pub fn stop_list(&self) -> &StopList {
+        &self.stop_list
+    }
+
+    /// Whether stemming is enabled.
+    pub fn stemming(&self) -> bool {
+        self.stemming
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_query() {
+        // §3.2.1: "drastic price increases in American stockmarkets"
+        // becomes "drastic price increas american stockmarket" after
+        // stop-word removal and stemming.
+        let a = Analyzer::english();
+        assert_eq!(
+            a.analyze("drastic price increases in American stockmarkets"),
+            ["drastic", "price", "increas", "american", "stockmarket"]
+        );
+    }
+
+    #[test]
+    fn duplicates_preserved_for_frequency_counting() {
+        let a = Analyzer::raw();
+        assert_eq!(a.analyze("stock stock stock"), ["stock", "stock", "stock"]);
+    }
+
+    #[test]
+    fn stop_words_removed_before_stemming() {
+        // "being" is a stop word; with stop removal off it would stem.
+        let a = Analyzer::english();
+        assert!(a.analyze("being").is_empty());
+        let raw = AnalyzerBuilder::new().stemming(true).build();
+        assert_eq!(raw.analyze("being"), ["be"]);
+    }
+
+    #[test]
+    fn raw_pipeline_only_tokenizes() {
+        let a = Analyzer::raw();
+        assert_eq!(a.analyze("The Markets!"), ["the", "markets"]);
+    }
+
+    #[test]
+    fn builder_combinations() {
+        let a = AnalyzerBuilder::new()
+            .stop_list(StopList::from_words(["market"]))
+            .stemming(false)
+            .build();
+        assert_eq!(a.analyze("market prices"), ["prices"]);
+        assert!(!a.stemming());
+        assert_eq!(a.stop_list().len(), 1);
+    }
+}

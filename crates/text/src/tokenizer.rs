@@ -1,0 +1,103 @@
+//! Lexical analysis: splitting raw text into candidate terms.
+//!
+//! Matches the paper's preprocessing (§4.2): "all non-words
+//! (punctuation, numbers, etc.) ... were removed from the documents.
+//! All remaining terms were transformed to lower case". A *word* here is
+//! a maximal run of ASCII letters; any token containing a digit is a
+//! non-word and is dropped entirely (so "4GB" or "x86" yield nothing,
+//! rather than a mangled fragment).
+
+/// Streaming tokenizer over a text slice.
+///
+/// Yields lower-cased words; never allocates beyond the per-token
+/// `String`. Construct via [`Tokenizer::new`] or use the convenience
+/// function [`tokenize`].
+#[derive(Debug, Clone)]
+pub struct Tokenizer<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `text`.
+    pub fn new(text: &'a str) -> Self {
+        Tokenizer { rest: text }
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        loop {
+            // Skip separators (anything that is not alphanumeric).
+            let start = self
+                .rest
+                .find(|c: char| c.is_ascii_alphanumeric())?;
+            let rest = &self.rest[start..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_alphanumeric())
+                .unwrap_or(rest.len());
+            let token = &rest[..end];
+            self.rest = &rest[end..];
+            // Non-words: tokens containing digits are removed outright.
+            if token.bytes().all(|b| b.is_ascii_alphabetic()) {
+                return Some(token.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+/// Tokenizes `text` into lower-cased alphabetic words.
+///
+/// ```
+/// let toks = ir_text::tokenize("Wall Street's 1987 crash!");
+/// assert_eq!(toks, ["wall", "street", "s", "crash"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::new(text).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("drastic price-increases, in American   stockmarkets."),
+            ["drastic", "price", "increases", "in", "american", "stockmarkets"]
+        );
+    }
+
+    #[test]
+    fn drops_tokens_with_digits() {
+        assert_eq!(tokenize("the 4GB x86 index of 1987"), ["the", "index", "of"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("MCI Stock"), ["mci", "stock"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! 123 ... 42").is_empty());
+    }
+
+    #[test]
+    fn non_ascii_is_a_separator() {
+        // Accented characters are treated as separators, mirroring the
+        // ASCII-oriented WSJ pipeline.
+        assert_eq!(tokenize("naïve café"), ["na", "ve", "caf"]);
+    }
+
+    #[test]
+    fn iterator_is_streaming() {
+        let mut it = Tokenizer::new("one two three");
+        assert_eq!(it.next().as_deref(), Some("one"));
+        assert_eq!(it.next().as_deref(), Some("two"));
+        assert_eq!(it.next().as_deref(), Some("three"));
+        assert_eq!(it.next(), None);
+    }
+}

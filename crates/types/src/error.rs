@@ -1,0 +1,89 @@
+//! The workspace-wide error type.
+
+use crate::ids::{DocId, PageId, TermId};
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type IrResult<T> = Result<T, IrError>;
+
+/// Errors surfaced by the buffir crates.
+///
+/// The simulator is in-memory so there are no I/O errors; everything
+/// here is a logic-level condition a caller can act on (unknown term,
+/// out-of-range page, a buffer pool too small to pin the working page,
+/// malformed compressed data).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IrError {
+    /// A term id that is not in the lexicon.
+    UnknownTerm(TermId),
+    /// A term string that is not in the lexicon (e.g. query-time lookup).
+    UnknownTermString(String),
+    /// A document id outside the collection.
+    UnknownDoc(DocId),
+    /// A page address past the end of its inverted list.
+    PageOutOfRange {
+        /// The offending address.
+        page: PageId,
+        /// Number of pages the list actually has.
+        list_len: u32,
+    },
+    /// Every buffer frame is pinned; no eviction victim exists.
+    NoEvictableFrame,
+    /// The buffer pool was configured with zero frames.
+    EmptyBufferPool,
+    /// Compressed posting data failed to decode.
+    CorruptPage {
+        /// The page whose payload failed to decode.
+        page: PageId,
+        /// Human-readable decoder diagnostic.
+        reason: String,
+    },
+    /// A configuration combination the engine cannot honour.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownTerm(t) => write!(f, "unknown term {t}"),
+            IrError::UnknownTermString(s) => write!(f, "term {s:?} not in lexicon"),
+            IrError::UnknownDoc(d) => write!(f, "unknown document {d}"),
+            IrError::PageOutOfRange { page, list_len } => {
+                write!(f, "page {page} out of range (list has {list_len} pages)")
+            }
+            IrError::NoEvictableFrame => {
+                write!(f, "all buffer frames are pinned; cannot evict")
+            }
+            IrError::EmptyBufferPool => write!(f, "buffer pool must have at least one frame"),
+            IrError::CorruptPage { page, reason } => {
+                write!(f, "corrupt page {page}: {reason}")
+            }
+            IrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PageId, TermId};
+
+    #[test]
+    fn display_is_informative() {
+        let e = IrError::PageOutOfRange {
+            page: PageId::new(TermId(3), 9),
+            list_len: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("t3:p9"));
+        assert!(s.contains("4 pages"));
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&IrError::EmptyBufferPool);
+    }
+}

@@ -1,0 +1,85 @@
+//! Cosine-similarity weight arithmetic (paper §2.2, Eqs. 1–4).
+//!
+//! All weights in the paper derive from two scalars per term:
+//! the inverse document frequency `idf_t = log₂(N / f_t)` and occurrence
+//! counts `f_{d,t}` / `f_{q,t}`. The perceived relevance of document *d*
+//! to query *q* is
+//!
+//! ```text
+//! relevance(q, d) = Σ_t w_{d,t} · w_{q,t}  /  W_d
+//! ```
+//!
+//! with `w_{x,t} = f_{x,t} · idf_t` and `W_d = sqrt(Σ_t w_{d,t}²)` the
+//! document vector length. These functions are the single source of truth
+//! for that arithmetic; the evaluator, the index builder (which stores
+//! `W_d` and per-page max weights for RAP), and the workload generator
+//! all call through here so their numbers agree bit-for-bit.
+
+/// Inverse document frequency: `idf_t = log₂(N / f_t)` (Eq. 4).
+///
+/// `n_docs` is the collection size `N`; `doc_freq` is `f_t`, the number
+/// of documents containing the term (must be ≥ 1 for a term that exists).
+///
+/// Terms appearing in every document get `idf = 0` and thus contribute
+/// nothing to any score — the continuous analogue of a stop word.
+#[inline]
+pub fn idf(n_docs: u32, doc_freq: u32) -> f64 {
+    debug_assert!(doc_freq >= 1, "a term must occur in at least one document");
+    debug_assert!(doc_freq <= n_docs, "f_t cannot exceed N");
+    (n_docs as f64 / doc_freq as f64).log2()
+}
+
+/// Term weight `w_{x,t} = f_{x,t} · idf_t` (Eq. 3), used identically for
+/// documents and queries.
+#[inline]
+pub fn term_weight(freq: u32, idf: f64) -> f64 {
+    freq as f64 * idf
+}
+
+/// Partial similarity of a document due to one term: `w_{d,t} · w_{q,t}`.
+#[inline]
+pub fn partial_similarity(doc_freq_in_doc: u32, query_freq: u32, idf: f64) -> f64 {
+    term_weight(doc_freq_in_doc, idf) * term_weight(query_freq, idf)
+}
+
+/// Document vector length `W_d = sqrt(Σ_t w_{d,t}²)` (Eq. 2), computed
+/// from the document's `(f_{d,t}, idf_t)` pairs.
+pub fn vector_length(weights: impl Iterator<Item = f64>) -> f64 {
+    weights.map(|w| w * w).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idf_basics() {
+        // A term in half the collection: log2(2) = 1.
+        assert!((idf(100, 50) - 1.0).abs() < 1e-12);
+        // A term in every document carries no information.
+        assert_eq!(idf(100, 100), 0.0);
+        // Rarer terms weigh more.
+        assert!(idf(1000, 1) > idf(1000, 10));
+    }
+
+    #[test]
+    fn partial_similarity_is_product_of_weights() {
+        let i = idf(1000, 10);
+        let ps = partial_similarity(3, 2, i);
+        assert!((ps - (3.0 * i) * (2.0 * i)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_length_is_euclidean() {
+        let w = vector_length([3.0, 4.0].into_iter());
+        assert!((w - 5.0).abs() < 1e-12);
+        assert_eq!(vector_length(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn term_weight_linear_in_freq() {
+        let i = 2.5;
+        assert_eq!(term_weight(0, i), 0.0);
+        assert!((term_weight(4, i) - 2.0 * term_weight(2, i)).abs() < 1e-12);
+    }
+}

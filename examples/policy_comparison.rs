@@ -1,0 +1,67 @@
+//! Buffer-size sweep across all seven replacement policies, in the
+//! style of the paper's Figures 5–8, including the ADD-DROP workload
+//! where MRU collapses and the extension policies (LRU-2, 2Q) behave
+//! like LRU.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use buffir::core::{
+    contribution_ranking, make_sequence, run_sequence, Query, RefinementKind, SessionConfig,
+};
+use buffir::corpus::{Corpus, CorpusConfig};
+use buffir::engine::index_corpus;
+use buffir::{Algorithm, PolicyKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::generate(CorpusConfig::small());
+    let index = index_corpus(&corpus, false)?;
+    let queries = corpus.queries();
+    let topic_query = queries
+        .iter()
+        .find(|q| q.len() >= 40)
+        .expect("a long topic");
+    let query = Query::from_named(&index, &topic_query.terms);
+    let ranked = contribution_ranking(&index, &query, 20)?;
+    let total_pages = query.total_pages() as usize;
+    index.disk().reset_stats();
+
+    for kind in [RefinementKind::AddOnly, RefinementKind::AddDrop] {
+        let sequence = make_sequence(&ranked, kind, 3, topic_query.topic);
+        println!(
+            "\n=== {kind} workload (topic {}, {} refinements, {} query-list pages) ===",
+            topic_query.topic,
+            sequence.len(),
+            total_pages
+        );
+        print!("{:>8} |", "buffers");
+        for policy in PolicyKind::ALL {
+            print!(" {:>7}", policy.to_string());
+        }
+        println!("   (total disk reads, BAF algorithm)");
+        let sweep = [
+            total_pages / 16,
+            total_pages / 8,
+            total_pages / 4,
+            total_pages / 2,
+            total_pages,
+        ];
+        for buffers in sweep {
+            let buffers = buffers.max(1);
+            print!("{buffers:>8} |");
+            for policy in PolicyKind::ALL {
+                let cfg = SessionConfig::new(Algorithm::Baf, policy, buffers);
+                let out = run_sequence(&index, &sequence, cfg, None)?;
+                print!(" {:>7}", out.total_disk_reads());
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nReadings: RAP dominates at small pools; MRU is competitive on ADD-ONLY\n\
+         but degrades on ADD-DROP (it can never evict dropped-term pages);\n\
+         LRU-2 and 2Q track LRU, as the paper's §6 predicts."
+    );
+    Ok(())
+}

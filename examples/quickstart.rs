@@ -1,0 +1,72 @@
+//! Quickstart: index a handful of documents, run a query, refine it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use buffir::engine::{EngineConfig, SearchEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature "news" collection. The engine runs the paper's text
+    // pipeline over it: tokenize, drop stop words, Porter-stem.
+    let documents = [
+        "Drastic price increases hit American stockmarkets as traders fled.",
+        "A quiet trading day on the bond market; yields drifted lower.",
+        "Stockmarket prices rallied strongly after last October's crash.",
+        "The American economy keeps growing while consumer prices stay stable.",
+        "Investment funds shifted money from bonds into American equities.",
+        "Analysts expect drastic interest rate increases later this year.",
+        "Crash investigators examined the market data from Black Monday.",
+        "Prices of computer equipment continue their drastic decline.",
+    ];
+
+    // The paper's proposed configuration: Buffer-Aware Filtering over
+    // the Ranking-Aware replacement Policy.
+    let mut engine = SearchEngine::from_texts(documents, EngineConfig::default())?;
+
+    println!("== query: \"drastic price increases in American stockmarkets\" ==");
+    let result = engine.search_text("drastic price increases in American stockmarkets")?;
+    for (rank, hit) in result.hits.iter().enumerate() {
+        println!(
+            "  {:>2}. doc {:>2}  score {:.3}   {}",
+            rank + 1,
+            hit.doc.0,
+            hit.score,
+            &documents[hit.doc.index()][..60.min(documents[hit.doc.index()].len())]
+        );
+    }
+    println!(
+        "  [{} disk reads, {} entries processed, {} accumulators]\n",
+        result.stats.disk_reads, result.stats.entries_processed, result.stats.peak_accumulators
+    );
+
+    // Refinement: the user adds "investment". Buffers are warm, so BAF
+    // pushes the new term to the end of the processing order and the
+    // retained terms are served from memory.
+    println!("== refined: + \"investment\" ==");
+    let refined =
+        engine.search_text("drastic price increases in American stockmarkets investment")?;
+    for (rank, hit) in refined.hits.iter().take(3).enumerate() {
+        println!("  {:>2}. doc {:>2}  score {:.3}", rank + 1, hit.doc.0, hit.score);
+    }
+    println!(
+        "  [{} disk reads — the retained terms were buffer-resident]",
+        refined.stats.disk_reads
+    );
+    println!("\nper-term trace of the refined query (note the processing order):");
+    println!(
+        "  {:<14} {:>6} {:>6} {:>6} {:>6}",
+        "term", "idf", "pages", "proc.", "read"
+    );
+    for row in &refined.trace {
+        println!(
+            "  {:<14} {:>6.2} {:>6} {:>6} {:>6}",
+            format!("{}", row.term),
+            row.idf,
+            row.list_pages,
+            row.pages_processed,
+            row.pages_read
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # buffir
+//!
+//! A from-scratch Rust reproduction of Jónsson, Franklin & Srivastava,
+//! **"Interaction of Query Evaluation and Buffer Management for
+//! Information Retrieval"** (SIGMOD 1998): buffer-aware query
+//! evaluation (BAF) and ranking-aware buffer replacement (RAP) for
+//! query-refinement workloads, together with every substrate the paper
+//! relies on — a paged disk simulator, a buffer manager with seven
+//! replacement policies, a frequency-sorted inverted index with
+//! compression, a Porter-stemming text pipeline, a calibrated synthetic
+//! WSJ-like corpus, and the full experiment harness.
+//!
+//! This crate is a facade: it re-exports the workspace crates under
+//! stable paths. Use the sub-crates directly for finer-grained
+//! dependencies.
+//!
+//! ```
+//! use buffir::engine::{EngineConfig, SearchEngine};
+//!
+//! let docs = ["stock prices rallied", "bond markets were quiet"];
+//! let mut engine = SearchEngine::from_texts(docs, EngineConfig::default()).unwrap();
+//! let result = engine.search_text("stock rally").unwrap();
+//! assert_eq!(result.hits.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ir_core as core;
+pub use ir_corpus as corpus;
+pub use ir_engine as engine;
+pub use ir_index as index;
+pub use ir_storage as storage;
+pub use ir_text as text;
+pub use ir_types as types;
+
+pub use ir_core::{Algorithm, Query, QueryResult};
+pub use ir_engine::{EngineConfig, SearchEngine};
+pub use ir_storage::PolicyKind;
+pub use ir_types::FilterParams;

@@ -1,0 +1,12 @@
+//! Shared fixtures for the integration tests.
+
+use buffir::corpus::{Corpus, CorpusConfig};
+use buffir::index::InvertedIndex;
+use ir_engine::index_corpus;
+
+/// A tiny generated collection and its index (deterministic).
+pub fn tiny_indexed() -> (Corpus, InvertedIndex) {
+    let corpus = Corpus::generate(CorpusConfig::tiny());
+    let index = index_corpus(&corpus, false).expect("tiny corpus indexes");
+    (corpus, index)
+}

@@ -1,0 +1,125 @@
+//! End-to-end buffer-event observation: the paper's micro-claims about
+//! *which* pages get evicted, checked through the full evaluator +
+//! buffer manager + policy stack rather than on the policy in
+//! isolation.
+
+use buffir::core::eval::{evaluate, EvalOptions};
+use buffir::core::Query;
+use buffir::index::{BuildOptions, IndexBuilder, InvertedIndex};
+use buffir::storage::{BufferEvent, BufferObserver};
+use buffir::{Algorithm, FilterParams, PolicyKind};
+use ir_types::IndexParams;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Default)]
+struct SharedLog(Rc<RefCell<Vec<BufferEvent>>>);
+
+impl BufferObserver for SharedLog {
+    fn event(&mut self, event: BufferEvent) {
+        self.0.borrow_mut().push(event);
+    }
+}
+
+/// Index with two multi-page terms ("kept", "dropped") and one short
+/// ("fresh"); filler documents keep every idf strictly positive.
+fn index() -> InvertedIndex {
+    let mut b = IndexBuilder::new();
+    for d in 0..8u32 {
+        let mut doc = vec!["kept", "dropped"];
+        if d == 0 {
+            doc.push("fresh");
+        }
+        b.add_document(doc);
+    }
+    for _ in 0..4 {
+        b.add_document(["filler"]);
+    }
+    b.build(BuildOptions {
+        params: IndexParams::with_page_size(2),
+        ..BuildOptions::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn rap_evicts_dropped_term_pages_first_end_to_end() {
+    let idx = index();
+    let lex = idx.lexicon();
+    let kept = lex.lookup("kept").unwrap();
+    let dropped = lex.lookup("dropped").unwrap();
+    let fresh = lex.lookup("fresh").unwrap();
+    // Pool fits both multi-page lists but not a third term on top.
+    let both = (idx.n_pages(kept).unwrap() + idx.n_pages(dropped).unwrap()) as usize;
+    let mut buffer = idx.make_buffer(both, PolicyKind::Rap).unwrap();
+    let opts = EvalOptions {
+        params: FilterParams::OFF,
+        ..EvalOptions::default()
+    };
+
+    // Query 1: kept + dropped — fills the pool exactly.
+    let q1 = Query::from_ids(&idx, &[(kept, 1), (dropped, 1)]).unwrap();
+    evaluate(Algorithm::Df, &idx, &mut buffer, &q1, opts).unwrap();
+    assert_eq!(buffer.len(), both);
+
+    // Refinement: drop "dropped", add "fresh". Attach the observer now
+    // so only refinement events are recorded.
+    let log = SharedLog::default();
+    buffer.set_observer(Box::new(log.clone()));
+    let q2 = Query::from_ids(&idx, &[(kept, 1), (fresh, 1)]).unwrap();
+    evaluate(Algorithm::Df, &idx, &mut buffer, &q2, opts).unwrap();
+
+    let events = log.0.borrow();
+    let evictions: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            BufferEvent::Evict(id) => Some(*id),
+            _ => None,
+        })
+        .collect();
+    assert!(!evictions.is_empty(), "loading the fresh term must evict something");
+    // §3.3: every eviction must hit the dropped term (value 0), never
+    // the kept one, and tail pages must go before head pages.
+    for id in &evictions {
+        assert_eq!(id.term, dropped, "RAP evicted {id} instead of a dropped-term page");
+    }
+    for w in evictions.windows(2) {
+        assert!(
+            w[0].page > w[1].page,
+            "tail must be evicted before head: {evictions:?}"
+        );
+    }
+}
+
+#[test]
+fn event_stream_is_consistent_with_counters() {
+    let idx = index();
+    let mut buffer = idx.make_buffer(3, PolicyKind::Lru).unwrap();
+    let log = SharedLog::default();
+    buffer.set_observer(Box::new(log.clone()));
+    let q = Query::from_named(
+        &idx,
+        &[("kept".into(), 1), ("dropped".into(), 1), ("fresh".into(), 1)],
+    );
+    let opts = EvalOptions {
+        params: FilterParams::OFF,
+        ..EvalOptions::default()
+    };
+    evaluate(Algorithm::Df, &idx, &mut buffer, &q, opts).unwrap();
+    evaluate(Algorithm::Baf, &idx, &mut buffer, &q, opts).unwrap();
+    buffer.flush();
+
+    let events = log.0.borrow();
+    let loads = events.iter().filter(|e| matches!(e, BufferEvent::Load(_))).count() as u64;
+    let hits = events.iter().filter(|e| matches!(e, BufferEvent::Hit(_))).count() as u64;
+    let evicts = events.iter().filter(|e| matches!(e, BufferEvent::Evict(_))).count() as u64;
+    let s = buffer.stats();
+    assert_eq!(loads, s.misses);
+    assert_eq!(hits, s.hits);
+    assert_eq!(evicts, s.evictions);
+    assert_eq!(loads + hits, s.requests);
+    assert!(matches!(events.last(), Some(BufferEvent::Flush)));
+    // The observer survives and can be detached.
+    assert!(buffer.take_observer().is_some());
+    assert!(buffer.take_observer().is_none());
+}

@@ -1,0 +1,135 @@
+//! List-ordering invariants: the same collection indexed under
+//! frequency order and doc-id order must return identical *scores*
+//! (ordering is physical, not semantic) while reading very different
+//! page counts — footnote 14's claim.
+
+use buffir::core::eval::{evaluate, EvalOptions};
+use buffir::core::Query;
+use buffir::corpus::{Corpus, CorpusConfig};
+use buffir::engine::{index_corpus_opts, IndexCorpusOptions};
+use buffir::{Algorithm, FilterParams, PolicyKind};
+use ir_types::ListOrdering;
+
+fn both_indexes() -> (
+    Corpus,
+    buffir::index::InvertedIndex,
+    buffir::index::InvertedIndex,
+) {
+    let corpus = Corpus::generate(CorpusConfig::tiny());
+    let freq = index_corpus_opts(
+        &corpus,
+        IndexCorpusOptions {
+            ordering: ListOrdering::FrequencySorted,
+            ..IndexCorpusOptions::default()
+        },
+    )
+    .unwrap();
+    let doc = index_corpus_opts(
+        &corpus,
+        IndexCorpusOptions {
+            ordering: ListOrdering::DocIdSorted,
+            ..IndexCorpusOptions::default()
+        },
+    )
+    .unwrap();
+    (corpus, freq, doc)
+}
+
+#[test]
+fn full_evaluation_is_ordering_invariant() {
+    let (corpus, freq, doc) = both_indexes();
+    for q in corpus.queries().iter().take(5) {
+        let opts = EvalOptions {
+            params: FilterParams::OFF,
+            ..EvalOptions::default()
+        };
+        let run = |index: &buffir::index::InvertedIndex| {
+            let query = Query::from_named(index, &q.terms);
+            let pool = (query.total_pages() as usize).max(1);
+            let mut buffer = index.make_buffer(pool, PolicyKind::Lru).unwrap();
+            evaluate(Algorithm::Full, index, &mut buffer, &query, opts).unwrap()
+        };
+        let a = run(&freq);
+        let b = run(&doc);
+        assert_eq!(a.hits.len(), b.hits.len(), "topic {}", q.topic);
+        for (x, y) in a.hits.iter().zip(&b.hits) {
+            assert_eq!(x.doc, y.doc);
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+        // Full evaluation reads everything under either ordering.
+        assert_eq!(a.stats.disk_reads, b.stats.disk_reads);
+    }
+}
+
+#[test]
+fn statistics_are_ordering_invariant() {
+    let (_, freq, doc) = both_indexes();
+    assert_eq!(freq.n_docs(), doc.n_docs());
+    assert_eq!(freq.total_postings(), doc.total_postings());
+    assert_eq!(freq.total_pages(), doc.total_pages());
+    for (term, e) in freq.lexicon().iter() {
+        let d = doc.lexicon().entry(term).unwrap();
+        assert_eq!(e.doc_freq, d.doc_freq);
+        assert_eq!(e.f_max, d.f_max, "f_max must be the true max either way");
+        assert_eq!(e.n_pages, d.n_pages);
+        assert!((e.idf - d.idf).abs() < 1e-15);
+    }
+    for docid in 0..freq.n_docs() {
+        let a = freq.doc_stats().vector_length(ir_types::DocId(docid)).unwrap();
+        let b = doc.doc_stats().vector_length(ir_types::DocId(docid)).unwrap();
+        assert!((a - b).abs() < 1e-9, "W_d differs for doc {docid}");
+    }
+}
+
+#[test]
+fn doc_ordered_df_cannot_terminate_early() {
+    let (corpus, freq, doc) = both_indexes();
+    // Under Persin constants, the frequency-sorted index never reads
+    // MORE than the doc-sorted one, and the doc-sorted one reads every
+    // page of every non-skipped term.
+    let mut freq_total = 0u64;
+    let mut doc_total = 0u64;
+    for q in corpus.queries().iter().take(6) {
+        let run = |index: &buffir::index::InvertedIndex| {
+            let query = Query::from_named(index, &q.terms);
+            let pool = (query.total_pages() as usize).max(1);
+            let mut buffer = index.make_buffer(pool, PolicyKind::Lru).unwrap();
+            evaluate(Algorithm::Df, index, &mut buffer, &query, EvalOptions::default()).unwrap()
+        };
+        let a = run(&freq);
+        let b = run(&doc);
+        assert!(a.stats.disk_reads <= b.stats.disk_reads, "topic {}", q.topic);
+        // Every doc-ordered term is either skipped outright or read
+        // fully.
+        for row in &b.trace {
+            assert!(
+                row.pages_processed == 0 || row.pages_processed == row.list_pages,
+                "doc-ordered scan stopped mid-list: {row:?}"
+            );
+        }
+        freq_total += a.stats.disk_reads;
+        doc_total += b.stats.disk_reads;
+    }
+    assert!(freq_total <= doc_total);
+}
+
+#[test]
+fn doc_ordered_index_round_trips_through_persistence() {
+    let (_, _, doc) = both_indexes();
+    let dir = std::env::temp_dir().join("buffir-ordering-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc_ordered.idx");
+    buffir::index::save_index(&doc, &path).unwrap();
+    let loaded = buffir::index::load_index(&path).unwrap();
+    assert_eq!(loaded.params().ordering, ListOrdering::DocIdSorted);
+    assert_eq!(loaded.total_postings(), doc.total_postings());
+    // Page contents identical (doc order restored after decode).
+    use buffir::storage::PageStore;
+    for (term, e) in doc.lexicon().iter() {
+        for p in 0..e.n_pages {
+            let a = doc.disk().read_page(ir_types::PageId::new(term, p)).unwrap();
+            let b = loaded.disk().read_page(ir_types::PageId::new(term, p)).unwrap();
+            assert_eq!(a.postings(), b.postings());
+        }
+    }
+}

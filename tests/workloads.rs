@@ -1,0 +1,101 @@
+//! Refinement-workload construction over a real generated corpus
+//! (§5.1.2's recipe end-to-end).
+
+use buffir::core::{contribution_ranking, make_sequence, Query, RefinementKind};
+
+mod common;
+
+#[test]
+fn contribution_ranking_is_complete_and_sorted() {
+    let (corpus, index) = common::tiny_indexed();
+    for q in corpus.queries().iter().take(5) {
+        let query = Query::from_named(&index, &q.terms);
+        let ranked = contribution_ranking(&index, &query, 20).unwrap();
+        assert_eq!(ranked.len(), query.len(), "every resolved term is ranked");
+        assert!(
+            ranked
+                .windows(2)
+                .all(|w| w[0].contribution >= w[1].contribution),
+            "ranking must be contribution-descending"
+        );
+        // Top contributions should be positive: the query's own topical
+        // terms score against the top-20 documents.
+        assert!(ranked[0].contribution > 0.0, "topic {}", q.topic);
+    }
+}
+
+#[test]
+fn add_only_steps_are_prefix_chains() {
+    let (corpus, index) = common::tiny_indexed();
+    let q = &corpus.queries()[0];
+    let query = Query::from_named(&index, &q.terms);
+    let ranked = contribution_ranking(&index, &query, 20).unwrap();
+    let seq = make_sequence(&ranked, RefinementKind::AddOnly, 3, q.topic);
+    assert_eq!(seq.len(), ranked.len().div_ceil(3));
+    for (k, w) in seq.steps.windows(2).enumerate() {
+        assert!(
+            w[0].iter().all(|t| w[1].contains(t)),
+            "step {k} is not a prefix of step {}",
+            k + 1
+        );
+        assert!(w[1].len() > w[0].len());
+    }
+    // The final step is the full query.
+    assert_eq!(seq.steps.last().unwrap().len(), ranked.len());
+}
+
+#[test]
+fn add_drop_removes_exactly_the_weakest_of_previous_group() {
+    let (corpus, index) = common::tiny_indexed();
+    let q = corpus.queries().into_iter().max_by_key(|q| q.len()).unwrap();
+    let query = Query::from_named(&index, &q.terms);
+    let ranked = contribution_ranking(&index, &query, 20).unwrap();
+    let seq = make_sequence(&ranked, RefinementKind::AddDrop, 3, q.topic);
+    for k in 1..seq.len() {
+        let prev_group: Vec<_> = ranked.chunks(3).nth(k - 1).unwrap().to_vec();
+        let weakest = prev_group.last().unwrap().term;
+        assert!(
+            !seq.steps[k].iter().any(|(t, _)| *t == weakest),
+            "step {k} still contains the weakest term of group {}",
+            k - 1
+        );
+        // Everything else from the previous step survives.
+        let survivors = seq.steps[k - 1]
+            .iter()
+            .filter(|(t, _)| *t != weakest)
+            .count();
+        assert_eq!(
+            seq.steps[k].len(),
+            survivors + ranked.chunks(3).nth(k).unwrap().len()
+        );
+    }
+}
+
+#[test]
+fn sequences_are_deterministic() {
+    let (corpus, index) = common::tiny_indexed();
+    let q = &corpus.queries()[2];
+    let query = Query::from_named(&index, &q.terms);
+    let r1 = contribution_ranking(&index, &query, 20).unwrap();
+    let r2 = contribution_ranking(&index, &query, 20).unwrap();
+    assert_eq!(r1.len(), r2.len());
+    for (a, b) in r1.iter().zip(&r2) {
+        assert_eq!(a.term, b.term);
+        assert_eq!(a.contribution, b.contribution);
+    }
+    let s1 = make_sequence(&r1, RefinementKind::AddDrop, 3, q.topic);
+    let s2 = make_sequence(&r2, RefinementKind::AddDrop, 3, q.topic);
+    assert_eq!(s1.steps, s2.steps);
+}
+
+#[test]
+fn collapsed_variant_preserves_the_last_refinement() {
+    let (corpus, index) = common::tiny_indexed();
+    let q = &corpus.queries()[1];
+    let query = Query::from_named(&index, &q.terms);
+    let ranked = contribution_ranking(&index, &query, 20).unwrap();
+    let seq = make_sequence(&ranked, RefinementKind::AddOnly, 3, q.topic);
+    let collapsed = seq.collapsed();
+    assert_eq!(collapsed.steps.last(), seq.steps.last());
+    assert!(collapsed.len() <= 2);
+}
