@@ -1,0 +1,209 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides cheaply cloneable immutable [`Bytes`] (shared storage +
+//! per-handle cursor window) and growable [`BytesMut`], plus the
+//! [`Buf`]/[`BufMut`] trait subset this workspace consumes. Reading via
+//! `Buf` advances the handle's own window without copying the backing
+//! storage, matching the real crate's observable behavior.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// Read-side byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// True if any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write-side byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, byte: u8);
+}
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    range: Range<usize>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the current window.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Sub-window relative to the current view; shares storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            range: self.range.start + range.start..self.range.start + range.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let range = 0..v.len();
+        Bytes {
+            data: v.into(),
+            range,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.range.clone()]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.range.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty Bytes");
+        let byte = self.data[self.range.start];
+        self.range.start += 1;
+        byte
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length written so far.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts into an immutable buffer.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, byte: u8) {
+        self.vec.push(byte);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_round_trip() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_u8(2);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen.get_u8(), 1);
+        assert!(frozen.has_remaining());
+        assert_eq!(frozen.get_u8(), 2);
+        assert_eq!(frozen.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_read_independently() {
+        let mut a = Bytes::from(vec![7, 8, 9]);
+        let mut b = a.clone();
+        assert_eq!(a.get_u8(), 7);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(a.remaining(), 2);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn slice_is_relative_to_window() {
+        let whole = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let mid = whole.slice(1..4);
+        assert_eq!(&*mid, &[1, 2, 3]);
+        assert_eq!(&*mid.slice(1..2), &[2]);
+        assert_eq!(Bytes::copy_from_slice(&[1, 2, 3]), mid);
+    }
+}

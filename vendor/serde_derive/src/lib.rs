@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` in this
+//! environment) and emits `Serialize`/`Deserialize` impls against the
+//! Value-tree traits of the vendored `serde` stub. Supported shapes —
+//! the ones this workspace derives on:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs (one tuple field) → transparent;
+//! * other tuple structs → arrays;
+//! * unit structs → `null`;
+//! * enums whose variants are all unit → variant-name strings.
+//!
+//! Anything else (data-carrying enum variants, generics) produces a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (Value-tree stub flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives `serde::Deserialize` (Value-tree stub flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = if serialize {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive stub emitted bad code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Skips `#[...]` attributes and visibility modifiers at `i`, in place.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < tokens.len() && matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#') {
+            *i += 1; // '#'
+            if *i < tokens.len() && matches!(tokens[*i], TokenTree::Group(_)) {
+                *i += 1; // [ ... ]
+            }
+            continue;
+        }
+        if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+            *i += 1;
+            // pub(crate) / pub(super) / ...
+            if *i < tokens.len()
+                && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        return;
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let is_enum = if i < tokens.len() && is_ident(&tokens[i], "struct") {
+        false
+    } else if i < tokens.len() && is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        return Err("serde_derive stub: expected `struct` or `enum`".into());
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("serde_derive stub: expected item name".into()),
+    };
+    i += 1;
+    if i < tokens.len() && matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive stub: generic type `{name}` is not supported"
+        ));
+    }
+    let shape = if is_enum {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::UnitEnum(parse_unit_variants(g.stream(), &name)?)
+            }
+            _ => return Err(format!("serde_derive stub: malformed enum `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            None => Shape::Unit,
+            _ => return Err(format!("serde_derive stub: malformed struct `{name}`")),
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(ident.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma; `<`/`>` puncts
+        // nest (generic args), bracketed groups are single tokens.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing = false;
+    for (idx, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing;
+    count
+}
+
+fn parse_unit_variants(stream: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(ident)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(ident.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde_derive stub: discriminants in enum `{name}` are not supported"
+                ));
+            }
+            _ => {
+                return Err(format!(
+                    "serde_derive stub: enum `{name}` has a data-carrying variant; only unit variants are supported"
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.field({f:?}).ok_or_else(|| ::serde::Error::missing_field({f:?}))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Obj(_) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"object for {name}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| ::serde::Error::expected(\"{n}-element array\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Arr(__items) => ::std::result::Result::Ok({name}({})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"array for {name}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\"variant string for {name}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
