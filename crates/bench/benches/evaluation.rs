@@ -24,8 +24,7 @@ fn bench_evaluation(c: &mut Criterion) {
             b.iter(|| {
                 let mut buffer = bed.index.make_buffer(pool, PolicyKind::Rap).unwrap();
                 black_box(
-                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default())
-                        .unwrap(),
+                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default()).unwrap(),
                 )
             })
         });
@@ -39,8 +38,7 @@ fn bench_evaluation(c: &mut Criterion) {
             evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default()).unwrap();
             b.iter(|| {
                 black_box(
-                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default())
-                        .unwrap(),
+                    evaluate(alg, &bed.index, &mut buffer, &query, EvalOptions::default()).unwrap(),
                 )
             })
         });

@@ -42,8 +42,9 @@ fn bench_rap_reorganize(c: &mut Criterion) {
                         bm.fetch(PageId::new(TermId(t), p)).unwrap();
                     }
                 }
-                let weights: HashMap<TermId, f64> =
-                    (0..terms).map(|t| (TermId(t), 1.0 + f64::from(t))).collect();
+                let weights: HashMap<TermId, f64> = (0..terms)
+                    .map(|t| (TermId(t), 1.0 + f64::from(t)))
+                    .collect();
                 b.iter(|| bm.begin_query(black_box(&weights)))
             },
         );

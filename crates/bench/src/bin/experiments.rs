@@ -12,8 +12,8 @@
 //! CSV directory (default `results/`).
 
 use ir_bench::exp::{
-    ablation, aggregate, effectiveness, feedback_exp, fig3_table5, fig4, fig5_8, table1_2,
-    table4, table7, ExpContext,
+    ablation, aggregate, effectiveness, feedback_exp, fig3_table5, fig4, fig5_8, table1_2, table4,
+    table7, ExpContext,
 };
 use ir_bench::output::OutputDir;
 use ir_bench::setup::{pick_representatives, profile_queries, TestBed};
@@ -73,7 +73,8 @@ fn main() -> ExitCode {
     }
     if picked.is_empty() || picked.iter().any(|p| p == "all") {
         picked = ALL.iter().map(|s| s.to_string()).collect();
-        picked.extend(["ablation", "feedback", "multiuser", "ordering", "scaling"].map(String::from));
+        picked
+            .extend(["ablation", "feedback", "multiuser", "ordering", "scaling"].map(String::from));
     }
     for p in &picked {
         let known = ALL.contains(&p.as_str())
@@ -113,7 +114,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("profiling the {} topic queries (DF vs Full, cold) ...", bed.n_queries());
+    println!(
+        "profiling the {} topic queries (DF vs Full, cold) ...",
+        bed.n_queries()
+    );
     let profiles = match profile_queries(&bed) {
         Ok(p) => p,
         Err(e) => {

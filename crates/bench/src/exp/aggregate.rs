@@ -71,7 +71,13 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<AggregateSummary> {
     }
     ctx.out.write_csv(
         "aggregate_add_only.csv",
-        &["topic", "buffer_pages", "df_lru_reads", "baf_rap_reads", "savings"],
+        &[
+            "topic",
+            "buffer_pages",
+            "df_lru_reads",
+            "baf_rap_reads",
+            "savings",
+        ],
         csv_rows,
     )?;
 
@@ -87,10 +93,26 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<AggregateSummary> {
         total,
     };
     let mut t = TextTable::new(&["metric", "measured", "paper"]);
-    t.row(vec!["min %".into(), format!("{:.1}", summary.min * 100.0), "46".into()]);
-    t.row(vec!["mean %".into(), format!("{:.1}", summary.mean * 100.0), "~75".into()]);
-    t.row(vec!["median %".into(), format!("{:.1}", summary.median * 100.0), "~75".into()]);
-    t.row(vec!["max %".into(), format!("{:.1}", summary.max * 100.0), "90".into()]);
+    t.row(vec![
+        "min %".into(),
+        format!("{:.1}", summary.min * 100.0),
+        "46".into(),
+    ]);
+    t.row(vec![
+        "mean %".into(),
+        format!("{:.1}", summary.mean * 100.0),
+        "~75".into(),
+    ]);
+    t.row(vec![
+        "median %".into(),
+        format!("{:.1}", summary.median * 100.0),
+        "~75".into(),
+    ]);
+    t.row(vec![
+        "max %".into(),
+        format!("{:.1}", summary.max * 100.0),
+        "90".into(),
+    ]);
     t.row(vec![
         "sequences > 70 %".into(),
         format!("{}/{}", summary.over_70, summary.total),

@@ -87,7 +87,14 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<EffectivenessSummary> {
     }
     ctx.out.write_csv(
         "effectiveness.csv",
-        &["topic", "buffer_pages", "baf_policy", "df_map", "baf_map", "rel_diff"],
+        &[
+            "topic",
+            "buffer_pages",
+            "baf_policy",
+            "df_map",
+            "baf_map",
+            "rel_diff",
+        ],
         csv_rows,
     )?;
 

@@ -44,16 +44,10 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<FeedbackSummary> {
             .take(5)
             .filter_map(|(name, fq)| ctx.bed.index.lexicon().lookup(name).map(|t| (t, *fq)))
             .collect();
-        let sequence = feedback_sequence(
-            &ctx.bed.index,
-            &seed,
-            10,
-            FeedbackOptions::default(),
-            topic,
-        )?;
+        let sequence =
+            feedback_sequence(&ctx.bed.index, &seed, 10, FeedbackOptions::default(), topic)?;
         // Working set of the final feedback query.
-        let final_query =
-            ir_core::Query::from_ids(&ctx.bed.index, sequence.steps.last().unwrap())?;
+        let final_query = ir_core::Query::from_ids(&ctx.bed.index, sequence.steps.last().unwrap())?;
         let total_pages = final_query.total_pages();
         let mut table_header = vec!["buffers".to_string()];
         table_header.extend(COMBOS.iter().map(|(a, p)| format!("{a}/{p}")));
@@ -101,7 +95,10 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<FeedbackSummary> {
         csv_rows,
     )?;
     let mean = best_savings.iter().sum::<f64>() / best_savings.len().max(1) as f64;
-    println!("mean best-case BAF/RAP savings on feedback refinement: {:.1} %", mean * 100.0);
+    println!(
+        "mean best-case BAF/RAP savings on feedback refinement: {:.1} %",
+        mean * 100.0
+    );
     ctx.bed.index.disk().reset_stats();
     Ok(FeedbackSummary {
         mean_best_savings: mean,

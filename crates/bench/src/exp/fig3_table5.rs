@@ -20,7 +20,10 @@ pub struct Fig3Summary {
 /// Runs the profile sweep and prints Fig. 3 + Table 5.
 pub fn run(ctx: &ExpContext<'_>) -> ExpResult<Fig3Summary> {
     let profiles = ctx.profiles;
-    println!("\n== Figure 3: DF savings vs query inverted-list size ({} queries) ==", profiles.len());
+    println!(
+        "\n== Figure 3: DF savings vs query inverted-list size ({} queries) ==",
+        profiles.len()
+    );
     let rows: Vec<Vec<String>> = profiles
         .iter()
         .map(|p| {
@@ -54,7 +57,13 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<Fig3Summary> {
     // Scatter summary in deciles of total pages.
     let mut sorted: Vec<_> = profiles.iter().collect();
     sorted.sort_by_key(|p| p.total_pages);
-    let mut table = TextTable::new(&["pages decile", "queries", "mean savings %", "min %", "max %"]);
+    let mut table = TextTable::new(&[
+        "pages decile",
+        "queries",
+        "mean savings %",
+        "min %",
+        "max %",
+    ]);
     for chunk in sorted.chunks(sorted.len().div_ceil(10).max(1)) {
         let mean = chunk.iter().map(|p| p.savings).sum::<f64>() / chunk.len() as f64;
         let min = chunk.iter().map(|p| p.savings).fold(f64::MAX, f64::min);
@@ -99,7 +108,15 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<Fig3Summary> {
         ("QUERY4", ctx.reps.query4, "57 MCI (83.4 %)"),
     ];
     println!("\n== Table 5: representative queries ==");
-    let mut t5 = TextTable::new(&["alias", "topic", "terms", "pages", "read", "savings %", "paper analogue"]);
+    let mut t5 = TextTable::new(&[
+        "alias",
+        "topic",
+        "terms",
+        "pages",
+        "read",
+        "savings %",
+        "paper analogue",
+    ]);
     let mut t5rows = Vec::new();
     for (alias, idx, paper) in reps {
         let p = &profiles[idx];

@@ -37,13 +37,11 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<()> {
         )?;
         // Series: S_max before each term, plus the final value.
         let mut series: Vec<f64> = result.trace.iter().map(|r| r.s_max_before).collect();
-        let final_smax = series.last().copied().unwrap_or(0.0).max(
-            result
-                .trace
-                .last()
-                .map(|r| r.s_max_before)
-                .unwrap_or(0.0),
-        );
+        let final_smax = series
+            .last()
+            .copied()
+            .unwrap_or(0.0)
+            .max(result.trace.last().map(|r| r.s_max_before).unwrap_or(0.0));
         series.push(final_smax);
         for (i, v) in series.iter().enumerate() {
             rows.push(vec![alias.to_string(), i.to_string(), format!("{v:.2}")]);

@@ -91,7 +91,13 @@ pub fn run_figure(
     print!("{}", table.render());
     ctx.out.write_csv(
         &format!("{label}.csv"),
-        &["buffer_pages", "combo", "total_reads", "last_refinement_reads", "modeled_io_ms"],
+        &[
+            "buffer_pages",
+            "combo",
+            "total_reads",
+            "last_refinement_reads",
+            "modeled_io_ms",
+        ],
         csv_rows,
     )?;
 

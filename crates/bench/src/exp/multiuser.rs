@@ -1,9 +1,11 @@
 //! Extension experiment: multi-user buffering (§3.3's future-work
 //! discussion and §7).
 //!
-//! Four users run their own ADD-ONLY refinement sequences, interleaved
-//! round-robin, all under the BAF algorithm. Four buffer architectures
-//! compete at equal total memory:
+//! Four users run their own ADD-ONLY refinement sequences **on four
+//! OS threads** through [`ir_engine::SessionServer`], all under the
+//! BAF algorithm, scheduled round-robin so the page request stream —
+//! and therefore every number below — is reproducible. Four buffer
+//! architectures compete at equal total memory:
 //!
 //! * **shared/LRU** — one pool, the query-oblivious default;
 //! * **shared/RAP (per-query)** — one pool, RAP re-valued with *only*
@@ -12,18 +14,20 @@
 //!   about;
 //! * **shared/RAP (global)** — the paper's option 2: "maintain a global
 //!   query history for all users ... if a term is shared by many
-//!   queries, the highest `w_{q,t}` could be used". Weights are the
-//!   per-term max over every user's current query;
+//!   queries, the highest `w_{q,t}` could be used". The server merges
+//!   every session's current weights by per-term max;
 //! * **partitioned/RAP** — the paper's option 1: each user a private
-//!   pool of `total/4` frames with per-query RAP.
+//!   partition of `total/4` frames with per-query RAP, **plus**
+//!   read-only sibling borrowing: a miss that finds the page in
+//!   another user's partition copies it instead of reading disk. The
+//!   borrow count is reported separately so the cross-user benefit is
+//!   visible, not folded silently into the read total.
 
 use super::{ExpContext, ExpResult};
 use crate::output::TextTable;
-use ir_core::eval::{evaluate, EvalOptions};
-use ir_core::{Algorithm, Query, RefinementKind};
+use ir_core::{Algorithm, RefinementKind};
+use ir_engine::{PoolLayout, Schedule, ServerReport, SessionServer, SessionSpec};
 use ir_storage::PolicyKind;
-use ir_types::TermId;
-use std::collections::HashMap;
 
 /// Summary for EXPERIMENTS.md.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,11 +38,14 @@ pub struct MultiUserSummary {
     pub shared_rap_naive: u64,
     /// Total reads: shared RAP with globally merged weights.
     pub shared_rap_global: u64,
-    /// Total reads: partitioned RAP.
+    /// Total reads: partitioned RAP with sibling borrowing.
     pub partitioned_rap: u64,
+    /// Disk reads the partitioned pool avoided by borrowing a page
+    /// from a sibling partition instead of going to the store.
+    pub sibling_hits: u64,
 }
 
-/// Runs the four-architecture comparison.
+/// Runs the four-architecture comparison on the threaded server.
 pub fn run(ctx: &ExpContext<'_>) -> ExpResult<MultiUserSummary> {
     println!("\n== Multi-user buffering (extension; §3.3 options) ==");
     let users = [
@@ -47,110 +54,118 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<MultiUserSummary> {
         ctx.reps.query3,
         ctx.reps.query4,
     ];
-    let sequences: Vec<_> = users
+    let specs: Vec<SessionSpec> = users
         .iter()
-        .map(|&t| ctx.bed.sequence(t, RefinementKind::AddOnly))
-        .collect::<Result<Vec<_>, _>>()?;
-    let max_steps = sequences.iter().map(|s| s.len()).max().unwrap_or(0);
+        .map(|&t| {
+            ctx.bed
+                .sequence(t, RefinementKind::AddOnly)
+                .map(|seq| SessionSpec::new(seq, Algorithm::Baf))
+        })
+        .collect::<Result<_, _>>()?;
     // Total memory: half the summed working sets — contended but not
     // hopeless.
     let total_frames: usize = users
         .iter()
         .map(|&t| ctx.profiles[t].df_reads as usize)
         .sum::<usize>()
+        .max(2)
         / 2;
     let per_user = (total_frames / users.len()).max(1);
-    let opts_announce = EvalOptions::default();
-    let opts_manual = EvalOptions {
-        announce_query: false,
-        ..EvalOptions::default()
+
+    let run_layout = |layout: PoolLayout| -> ExpResult<ServerReport> {
+        let server = SessionServer::new(&ctx.bed.index, layout);
+        let report = server.run(&specs, Schedule::RoundRobin)?;
+        ctx.bed.index.disk().reset_stats();
+        Ok(report)
     };
+    let shared_lru = run_layout(PoolLayout::Shared {
+        total_frames,
+        policy: PolicyKind::Lru,
+        global_history: false,
+    })?;
+    let shared_naive = run_layout(PoolLayout::Shared {
+        total_frames,
+        policy: PolicyKind::Rap,
+        global_history: false,
+    })?;
+    let shared_global = run_layout(PoolLayout::Shared {
+        total_frames,
+        policy: PolicyKind::Rap,
+        global_history: true,
+    })?;
+    let partitioned = run_layout(PoolLayout::Partitioned {
+        frames_each: per_user,
+        policy: PolicyKind::Rap,
+    })?;
 
-    // Shared pools.
-    let mut shared_lru = ctx.bed.index.make_buffer(total_frames.max(1), PolicyKind::Lru)?;
-    let mut shared_naive = ctx.bed.index.make_buffer(total_frames.max(1), PolicyKind::Rap)?;
-    let mut shared_global = ctx.bed.index.make_buffer(total_frames.max(1), PolicyKind::Rap)?;
-    // Partitioned pools.
-    let mut partitions: Vec<_> = users
-        .iter()
-        .map(|_| ctx.bed.index.make_buffer(per_user, PolicyKind::Rap))
-        .collect::<Result<Vec<_>, _>>()?;
-
-    // The global context: each user's current query weights, merged by
-    // per-term max whenever any query changes.
-    let mut current_weights: Vec<HashMap<TermId, f64>> =
-        vec![HashMap::new(); users.len()];
-
-    for step in 0..max_steps {
-        for (u, seq) in sequences.iter().enumerate() {
-            let Some(step_terms) = seq.steps.get(step) else {
-                continue;
-            };
-            let query = Query::from_ids(&ctx.bed.index, step_terms)?;
-            // shared/LRU and shared/RAP-naive: normal announcement.
-            evaluate(Algorithm::Baf, &ctx.bed.index, &mut shared_lru, &query, opts_announce)?;
-            evaluate(Algorithm::Baf, &ctx.bed.index, &mut shared_naive, &query, opts_announce)?;
-            // shared/RAP-global: merge every user's current weights.
-            current_weights[u] = query.weights();
-            let mut merged: HashMap<TermId, f64> = HashMap::new();
-            for w in &current_weights {
-                for (&t, &v) in w {
-                    let e = merged.entry(t).or_insert(v);
-                    if v > *e {
-                        *e = v;
-                    }
-                }
-            }
-            shared_global.begin_query(&merged);
-            evaluate(Algorithm::Baf, &ctx.bed.index, &mut shared_global, &query, opts_manual)?;
-            // partitioned/RAP.
-            evaluate(Algorithm::Baf, &ctx.bed.index, &mut partitions[u], &query, opts_announce)?;
-        }
-    }
-
+    // Pool misses == reads issued against the store: sibling borrows
+    // are hits in the borrower's partition and never reach the disk.
     let summary = MultiUserSummary {
-        shared_lru: shared_lru.stats().misses,
-        shared_rap_naive: shared_naive.stats().misses,
-        shared_rap_global: shared_global.stats().misses,
-        partitioned_rap: partitions.iter().map(|p| p.stats().misses).sum(),
+        shared_lru: shared_lru.pool_stats.misses,
+        shared_rap_naive: shared_naive.pool_stats.misses,
+        shared_rap_global: shared_global.pool_stats.misses,
+        partitioned_rap: partitioned.pool_stats.misses,
+        sibling_hits: partitioned.sibling_hits,
     };
-    let mut t = TextTable::new(&["architecture", "total frames", "disk reads"]);
-    t.row(vec!["shared / LRU".into(), total_frames.to_string(), summary.shared_lru.to_string()]);
+    let mut t = TextTable::new(&["architecture", "total frames", "disk reads", "sibling hits"]);
+    t.row(vec![
+        "shared / LRU".into(),
+        total_frames.to_string(),
+        summary.shared_lru.to_string(),
+        "-".into(),
+    ]);
     t.row(vec![
         "shared / RAP per-query".into(),
         total_frames.to_string(),
         summary.shared_rap_naive.to_string(),
+        "-".into(),
     ]);
     t.row(vec![
         "shared / RAP global-history".into(),
         total_frames.to_string(),
         summary.shared_rap_global.to_string(),
+        "-".into(),
     ]);
     t.row(vec![
         format!("partitioned / RAP ({}×{})", users.len(), per_user),
         (per_user * users.len()).to_string(),
         summary.partitioned_rap.to_string(),
+        summary.sibling_hits.to_string(),
     ]);
     print!("{}", t.render());
+    println!(
+        "(partitioned/RAP without borrowing would have read {} pages: \
+         {} of its misses were served from sibling partitions)",
+        summary.partitioned_rap + summary.sibling_hits,
+        summary.sibling_hits,
+    );
     ctx.out.write_csv(
         "multiuser.csv",
-        &["architecture", "total_frames", "disk_reads"],
+        &["architecture", "total_frames", "disk_reads", "sibling_hits"],
         [
-            vec!["shared_lru".to_string(), total_frames.to_string(), summary.shared_lru.to_string()],
+            vec![
+                "shared_lru".to_string(),
+                total_frames.to_string(),
+                summary.shared_lru.to_string(),
+                "0".to_string(),
+            ],
             vec![
                 "shared_rap_naive".to_string(),
                 total_frames.to_string(),
                 summary.shared_rap_naive.to_string(),
+                "0".to_string(),
             ],
             vec![
                 "shared_rap_global".to_string(),
                 total_frames.to_string(),
                 summary.shared_rap_global.to_string(),
+                "0".to_string(),
             ],
             vec![
                 "partitioned_rap".to_string(),
                 (per_user * users.len()).to_string(),
                 summary.partitioned_rap.to_string(),
+                summary.sibling_hits.to_string(),
             ],
         ],
     )?;
@@ -158,6 +173,5 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<MultiUserSummary> {
         "(the paper leaves the trade-off open: \"The trade-offs between these \
          alternatives need to be investigated\" — these are the numbers.)"
     );
-    ctx.bed.index.disk().reset_stats();
     Ok(summary)
 }

@@ -51,9 +51,21 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<OrderingSummary> {
         let q_doc = Query::from_named(&doc_index, &ctx.bed.queries[topic].terms);
         let pool = (q_freq.total_pages() as usize).max(1);
         let mut b1 = ctx.bed.index.make_buffer(pool, PolicyKind::Lru)?;
-        let r1 = evaluate(Algorithm::Df, &ctx.bed.index, &mut b1, &q_freq, EvalOptions::default())?;
+        let r1 = evaluate(
+            Algorithm::Df,
+            &ctx.bed.index,
+            &mut b1,
+            &q_freq,
+            EvalOptions::default(),
+        )?;
         let mut b2 = doc_index.make_buffer(pool, PolicyKind::Lru)?;
-        let r2 = evaluate(Algorithm::Df, &doc_index, &mut b2, &q_doc, EvalOptions::default())?;
+        let r2 = evaluate(
+            Algorithm::Df,
+            &doc_index,
+            &mut b2,
+            &q_doc,
+            EvalOptions::default(),
+        )?;
         freq_reads += r1.stats.disk_reads;
         doc_reads += r2.stats.disk_reads;
         full_reads += q_freq.total_pages();
@@ -62,14 +74,21 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<OrderingSummary> {
     t.row(vec![
         "frequency-sorted [WL93, Per94]".into(),
         freq_reads.to_string(),
-        format!("{:.1}", 100.0 * freq_reads as f64 / full_reads.max(1) as f64),
+        format!(
+            "{:.1}",
+            100.0 * freq_reads as f64 / full_reads.max(1) as f64
+        ),
     ]);
     t.row(vec![
         "doc-id-sorted (traditional)".into(),
         doc_reads.to_string(),
         format!("{:.1}", 100.0 * doc_reads as f64 / full_reads.max(1) as f64),
     ]);
-    t.row(vec!["full evaluation".into(), full_reads.to_string(), "100.0".into()]);
+    t.row(vec![
+        "full evaluation".into(),
+        full_reads.to_string(),
+        "100.0".into(),
+    ]);
     print!("{}", t.render());
 
     // One refinement sequence under BAF/RAP on both organizations: the

@@ -65,7 +65,11 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<ScalingSummary> {
     let (s_full, multi_full, longest_full, acc_full) = stats_of(ctx.bed)?;
     let (s_half, multi_half, longest_half, acc_half) = stats_of(&half_bed)?;
 
-    let mut t = TextTable::new(&["statistic", &format!("σ={sigma:.4}"), &format!("σ={:.4}", sigma / 2.0)]);
+    let mut t = TextTable::new(&[
+        "statistic",
+        &format!("σ={sigma:.4}"),
+        &format!("σ={:.4}", sigma / 2.0),
+    ]);
     t.row(vec![
         "mean DF savings %".into(),
         format!("{:.1}", s_full * 100.0),
@@ -95,7 +99,11 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<ScalingSummary> {
         "scaling.csv",
         &["statistic", "full_scale", "half_scale"],
         [
-            vec!["mean_savings".to_string(), format!("{s_full:.4}"), format!("{s_half:.4}")],
+            vec![
+                "mean_savings".to_string(),
+                format!("{s_full:.4}"),
+                format!("{s_half:.4}"),
+            ],
             vec![
                 "multi_page_fraction".to_string(),
                 format!("{multi_full:.4}"),

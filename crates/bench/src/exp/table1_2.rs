@@ -107,10 +107,8 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<(u64, u64)> {
     // many pages the initial query touches and give the pool a small
     // margin beyond that, the same regime as the paper's example.
     let pool = {
-        let mut probe = index.make_buffer(
-            (q_refined.total_pages() as usize).max(8),
-            PolicyKind::Lru,
-        )?;
+        let mut probe =
+            index.make_buffer((q_refined.total_pages() as usize).max(8), PolicyKind::Lru)?;
         let warm = evaluate(Algorithm::Df, index, &mut probe, &q_initial, options)?;
         (warm.stats.pages_processed as usize + 4).max(8)
     };
@@ -158,10 +156,7 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<(u64, u64)> {
     );
     // The added term must be processed last under BAF.
     let last = baf.trace.last().map(|r| r.term);
-    println!(
-        "BAF processed the added term last: {}",
-        last == Some(added)
-    );
+    println!("BAF processed the added term last: {}", last == Some(added));
     println!(
         "disk reads for the refinement: DF {} vs BAF {} (paper: 37 vs 20)",
         df.stats.disk_reads, baf.stats.disk_reads
@@ -189,7 +184,15 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<(u64, u64)> {
     ctx.out.write_csv(
         "table1_2.csv",
         &[
-            "algorithm", "term", "idf", "pages", "smax", "f_ins", "f_add", "processed", "read",
+            "algorithm",
+            "term",
+            "idf",
+            "pages",
+            "smax",
+            "f_ins",
+            "f_add",
+            "processed",
+            "read",
         ],
         rows,
     )?;

@@ -28,7 +28,13 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<usize> {
     let bounds = [1.91, 3.10, 5.42, 8.74, max_idf.max(8.75) + 0.01];
     let bands = index.lexicon().idf_bands(&bounds);
     let mut table = TextTable::new(&[
-        "group", "idf range", "pages", "terms", "paper idf", "paper pages", "paper terms",
+        "group",
+        "idf range",
+        "pages",
+        "terms",
+        "paper idf",
+        "paper pages",
+        "paper terms",
     ]);
     let mut rows = Vec::new();
     for (band, paper) in bands.iter().zip(PAPER_BANDS.iter()) {
@@ -57,7 +63,14 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<usize> {
     print!("{}", table.render());
     ctx.out.write_csv(
         "table4.csv",
-        &["group", "idf_low", "idf_high", "min_pages", "max_pages", "n_terms"],
+        &[
+            "group",
+            "idf_low",
+            "idf_high",
+            "min_pages",
+            "max_pages",
+            "n_terms",
+        ],
         rows,
     )?;
 

@@ -131,7 +131,13 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<Table7Summary> {
     }
     ctx.out.write_csv(
         "table7.csv",
-        &["query", "variant", "buffer_pages", "combo", "last_refinement_reads"],
+        &[
+            "query",
+            "variant",
+            "buffer_pages",
+            "combo",
+            "last_refinement_reads",
+        ],
         csv_rows,
     )?;
     ctx.bed.index.disk().reset_stats();

@@ -21,7 +21,7 @@
 
 use crate::stats::EvalStats;
 use ir_index::InvertedIndex;
-use ir_storage::{BufferManager, PageStore};
+use ir_storage::QueryBuffer;
 use ir_types::{DocId, IrError, IrResult, PageId};
 use std::collections::BTreeSet;
 
@@ -69,10 +69,10 @@ impl BooleanQuery {
 
     /// Evaluates against an index through a buffer pool. Being a safe
     /// query model, this reads every page of every referenced list.
-    pub fn evaluate<S: PageStore>(
+    pub fn evaluate<B: QueryBuffer>(
         &self,
         index: &InvertedIndex,
-        buffer: &mut BufferManager<S>,
+        buffer: &mut B,
     ) -> IrResult<BooleanResult> {
         let mut stats = EvalStats::default();
         let docs = self.eval_inner(index, buffer, &mut stats)?;
@@ -82,10 +82,10 @@ impl BooleanQuery {
         })
     }
 
-    fn eval_inner<S: PageStore>(
+    fn eval_inner<B: QueryBuffer>(
         &self,
         index: &InvertedIndex,
-        buffer: &mut BufferManager<S>,
+        buffer: &mut B,
         stats: &mut EvalStats,
     ) -> IrResult<BTreeSet<DocId>> {
         match self {
@@ -341,7 +341,10 @@ mod tests {
         assert!(BooleanQuery::parse("AND stock").is_err());
         assert!(BooleanQuery::parse("stock AND").is_err());
         assert!(BooleanQuery::parse("(stock OR bond").is_err());
-        assert!(BooleanQuery::parse("stock bond").is_err(), "missing operator");
+        assert!(
+            BooleanQuery::parse("stock bond").is_err(),
+            "missing operator"
+        );
     }
 
     #[test]

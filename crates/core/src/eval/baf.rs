@@ -19,13 +19,13 @@ use crate::query::Query;
 use crate::rank;
 use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
-use ir_storage::{BufferManager, PageStore};
+use ir_storage::QueryBuffer;
 use ir_types::{IrResult, ListOrdering, PageId};
 
 /// Runs BAF.
-pub fn evaluate_baf<S: PageStore>(
+pub fn evaluate_baf<B: QueryBuffer>(
     index: &InvertedIndex,
-    buffer: &mut BufferManager<S>,
+    buffer: &mut B,
     query: &Query,
     options: EvalOptions,
 ) -> IrResult<QueryResult> {
@@ -170,8 +170,7 @@ mod tests {
     }
 
     fn query(idx: &InvertedIndex, terms: &[(&str, u32)]) -> Query {
-        let named: Vec<(String, u32)> =
-            terms.iter().map(|&(n, f)| (n.to_string(), f)).collect();
+        let named: Vec<(String, u32)> = terms.iter().map(|&(n, f)| (n.to_string(), f)).collect();
         Query::from_named(idx, &named)
     }
 
@@ -234,7 +233,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(r.trace[0].term, commn, "resident list must be processed first");
+        assert_eq!(
+            r.trace[0].term, commn,
+            "resident list must be processed first"
+        );
         assert_eq!(r.trace[0].pages_read, 0);
     }
 
@@ -285,7 +287,10 @@ mod tests {
         let mut buf = idx.make_buffer(32, PolicyKind::Lru).unwrap();
         let r = evaluate_baf(&idx, &mut buf, &q, EvalOptions::default()).unwrap();
         assert!(r.stats.threshold_recomputes <= 6);
-        assert!(r.stats.threshold_recomputes >= 3, "first round recomputes all");
+        assert!(
+            r.stats.threshold_recomputes >= 3,
+            "first round recomputes all"
+        );
     }
 
     #[test]
@@ -346,7 +351,11 @@ mod tests {
         // Retained terms read nothing.
         for row in &r2.trace {
             if row.term != rare {
-                assert_eq!(row.pages_read, 0, "retained term {:?} re-read pages", row.term);
+                assert_eq!(
+                    row.pages_read, 0,
+                    "retained term {:?} re-read pages",
+                    row.term
+                );
             }
         }
     }

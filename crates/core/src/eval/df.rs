@@ -8,14 +8,14 @@ use crate::query::Query;
 use crate::rank;
 use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
-use ir_storage::{BufferManager, PageStore};
+use ir_storage::QueryBuffer;
 use ir_types::{IrResult, ListOrdering};
 
 /// Runs DF. With `options.params == FilterParams::OFF` this is the
 /// paper's safe baseline ("full evaluation").
-pub fn evaluate_df<S: PageStore>(
+pub fn evaluate_df<B: QueryBuffer>(
     index: &InvertedIndex,
-    buffer: &mut BufferManager<S>,
+    buffer: &mut B,
     query: &Query,
     options: EvalOptions,
 ) -> IrResult<QueryResult> {
@@ -104,8 +104,7 @@ mod tests {
     }
 
     fn query(idx: &InvertedIndex, terms: &[(&str, u32)]) -> Query {
-        let named: Vec<(String, u32)> =
-            terms.iter().map(|&(n, f)| (n.to_string(), f)).collect();
+        let named: Vec<(String, u32)> = terms.iter().map(|&(n, f)| (n.to_string(), f)).collect();
         Query::from_named(idx, &named)
     }
 

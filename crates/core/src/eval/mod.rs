@@ -10,7 +10,7 @@ pub use df::evaluate_df;
 use crate::query::Query;
 use crate::stats::QueryResult;
 use ir_index::InvertedIndex;
-use ir_storage::{BufferManager, PageStore};
+use ir_storage::QueryBuffer;
 use ir_types::{FilterParams, IrResult, DEFAULT_TOP_N};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -115,10 +115,10 @@ impl EvalOptions {
 /// assert_eq!(result.hits[0].doc, ir_types::DocId(0));
 /// # Ok::<(), ir_types::IrError>(())
 /// ```
-pub fn evaluate<S: PageStore>(
+pub fn evaluate<B: QueryBuffer>(
     algorithm: Algorithm,
     index: &InvertedIndex,
-    buffer: &mut BufferManager<S>,
+    buffer: &mut B,
     query: &Query,
     options: EvalOptions,
 ) -> IrResult<QueryResult> {

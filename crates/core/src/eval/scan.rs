@@ -3,7 +3,7 @@
 
 use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
-use ir_storage::{BufferManager, PageStore};
+use ir_storage::QueryBuffer;
 use ir_types::{IrResult, PageId};
 
 /// What one term scan did.
@@ -21,8 +21,8 @@ pub(crate) struct ScanOutcome {
 /// similarities under `f_ins` / `f_add`, terminating at the first entry
 /// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
 /// touched (step 4(c)v).
-pub(crate) fn scan_term<S: PageStore>(
-    buffer: &mut BufferManager<S>,
+pub(crate) fn scan_term<B: QueryBuffer>(
+    buffer: &mut B,
     accs: &mut Accumulators,
     s_max: &mut f64,
     term: &QueryTerm,
@@ -69,7 +69,7 @@ pub(crate) fn scan_term<S: PageStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir_storage::{DiskSim, Page, PolicyKind};
+    use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
     use ir_types::{DocId, Posting, TermId};
 
     /// One term, postings (doc, freq) frequency-sorted, `page_size`

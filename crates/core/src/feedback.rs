@@ -59,8 +59,7 @@ pub fn expansion_terms(
             "relevance feedback needs a forward index (BuildOptions::keep_forward)".into(),
         )
     })?;
-    let present: std::collections::HashSet<TermId> =
-        query.terms().iter().map(|t| t.term).collect();
+    let present: std::collections::HashSet<TermId> = query.terms().iter().map(|t| t.term).collect();
     let mut scores: HashMap<TermId, f64> = HashMap::new();
     for hit in hits.iter().take(options.feedback_docs) {
         for &(term, freq) in forward.terms(hit.doc)? {
@@ -71,8 +70,7 @@ pub fn expansion_terms(
             if e.stopped || e.n_postings == 0 {
                 continue;
             }
-            *scores.entry(term).or_insert(0.0) +=
-                ir_types::weights::term_weight(freq, e.idf);
+            *scores.entry(term).or_insert(0.0) += ir_types::weights::term_weight(freq, e.idf);
         }
     }
     let mut ranked: Vec<(TermId, f64)> = scores.into_iter().collect();

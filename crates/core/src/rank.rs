@@ -30,11 +30,7 @@ pub fn top_n(accs: &Accumulators, doc_stats: &DocStats, n: usize) -> IrResult<Ve
             score: raw / w,
         });
     }
-    hits.sort_by(|a, b| {
-        b.score
-            .total_cmp(&a.score)
-            .then_with(|| a.doc.cmp(&b.doc))
-    });
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
     hits.truncate(n);
     Ok(hits)
 }
@@ -102,12 +98,24 @@ mod tests {
     #[test]
     fn overlap_measures_shared_docs() {
         let a = vec![
-            Hit { doc: DocId(0), score: 1.0 },
-            Hit { doc: DocId(1), score: 0.5 },
+            Hit {
+                doc: DocId(0),
+                score: 1.0,
+            },
+            Hit {
+                doc: DocId(1),
+                score: 0.5,
+            },
         ];
         let b = vec![
-            Hit { doc: DocId(1), score: 0.7 },
-            Hit { doc: DocId(2), score: 0.6 },
+            Hit {
+                doc: DocId(1),
+                score: 0.7,
+            },
+            Hit {
+                doc: DocId(2),
+                score: 0.6,
+            },
         ];
         assert!((overlap(&a, &b) - 0.5).abs() < 1e-12);
         assert_eq!(overlap(&[], &b), 1.0);

@@ -116,16 +116,38 @@ pub fn run_sequence(
     relevant: Option<&HashSet<DocId>>,
 ) -> IrResult<SequenceOutcome> {
     let mut buffer = index.make_buffer(config.buffer_pages, config.policy)?;
-    let options = EvalOptions {
-        params: config.params,
-        top_n: config.top_n,
-        baf_force_first_page: false,
-        announce_query: true,
-    };
+    run_sequence_with(
+        index,
+        &mut buffer,
+        sequence,
+        config.algorithm,
+        EvalOptions {
+            params: config.params,
+            top_n: config.top_n,
+            baf_force_first_page: false,
+            announce_query: true,
+        },
+        relevant,
+    )
+}
+
+/// Runs one sequence against a caller-supplied buffer — the multi-user
+/// path, where the buffer is a clone of a shared pool or one partition
+/// of a partitioned pool and must outlive the sequence. The pool is
+/// **not** flushed; pages persist across refinements (and, for shared
+/// pools, across sessions).
+pub fn run_sequence_with<B: ir_storage::QueryBuffer>(
+    index: &InvertedIndex,
+    buffer: &mut B,
+    sequence: &RefinementSequence,
+    algorithm: Algorithm,
+    options: EvalOptions,
+    relevant: Option<&HashSet<DocId>>,
+) -> IrResult<SequenceOutcome> {
     let mut steps = Vec::with_capacity(sequence.steps.len());
     for step_terms in &sequence.steps {
         let query = Query::from_ids(index, step_terms)?;
-        let result = evaluate(config.algorithm, index, &mut buffer, &query, options)?;
+        let result = evaluate(algorithm, index, buffer, &query, options)?;
         steps.push(StepOutcome {
             avg_precision: relevant.map(|rel| average_precision(&result.hits, rel)),
             stats: result.stats,

@@ -119,12 +119,7 @@ pub fn contribution_ranking(
     let top_docs: HashMap<DocId, f64> = result
         .hits
         .iter()
-        .map(|h| {
-            (
-                h.doc,
-                index.doc_stats().vector_length(h.doc).unwrap_or(1.0),
-            )
-        })
+        .map(|h| (h.doc, index.doc_stats().vector_length(h.doc).unwrap_or(1.0)))
         .collect();
     if top_docs.is_empty() {
         // No document matched anything: contributions are all zero.
@@ -255,7 +250,11 @@ mod tests {
         let seq = make_sequence(&ranked(9), RefinementKind::AddOnly, 3, 7);
         let c = seq.collapsed();
         assert_eq!(c.len(), 2);
-        assert_eq!(c.steps[0].len(), 6, "penultimate step is the big first query");
+        assert_eq!(
+            c.steps[0].len(),
+            6,
+            "penultimate step is the big first query"
+        );
         assert_eq!(c.steps[1].len(), 9);
         assert_eq!(c.source, 7);
         // A 1-step sequence collapses to itself.

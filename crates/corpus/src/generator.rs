@@ -97,8 +97,8 @@ impl Corpus {
             let mut topical_total = 0usize;
             for &t in &assigned {
                 let topic = &topics[t as usize];
-                let n = ((topic.concentration * len as f64).round() as usize)
-                    .min(len - topical_total);
+                let n =
+                    ((topic.concentration * len as f64).round() as usize).min(len - topical_total);
                 for _ in 0..n {
                     let pos = burst[t as usize].sample(&mut rng) as usize;
                     let rank = topic.salient[pos].0;
@@ -169,8 +169,8 @@ impl Corpus {
                         (rank, fq)
                     })
                     .collect();
-                let concentration = rng
-                    .gen_range(config.concentration_range.0..=config.concentration_range.1);
+                let concentration =
+                    rng.gen_range(config.concentration_range.0..=config.concentration_range.1);
                 Topic {
                     id,
                     salient,
@@ -275,7 +275,9 @@ mod tests {
         for (d, topics) in c.doc_topics.iter().enumerate() {
             for &t in topics {
                 assert!(
-                    c.relevant_docs(t as usize).binary_search(&(d as u32)).is_ok(),
+                    c.relevant_docs(t as usize)
+                        .binary_search(&(d as u32))
+                        .is_ok(),
                     "doc {d} generated from topic {t} must be judged relevant"
                 );
             }

@@ -25,7 +25,10 @@ impl Zipf {
     /// Panics if the range is empty or `s` is not finite.
     pub fn new(lo: u32, hi: u32, s: f64) -> Self {
         assert!(lo < hi, "empty rank range {lo}..{hi}");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity((hi - lo) as usize);
         let mut acc = 0.0f64;
         for r in lo..hi {
@@ -91,9 +94,7 @@ mod tests {
         let z = Zipf::new(0, 10_000, 1.0);
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 100_000;
-        let head = (0..n)
-            .filter(|_| z.sample(&mut rng) < 100)
-            .count() as f64;
+        let head = (0..n).filter(|_| z.sample(&mut rng) < 100).count() as f64;
         // With s = 1 and V = 10^4, the top 100 ranks carry
         // H(100)/H(10000) ≈ 5.19/9.79 ≈ 53 % of the mass.
         let frac = head / n as f64;

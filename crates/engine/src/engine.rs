@@ -150,12 +150,10 @@ impl SearchEngine {
     /// Switches algorithm/policy/buffer size. The pool is rebuilt
     /// (cold) if the policy or capacity changed.
     pub fn reconfigure(&mut self, config: EngineConfig) -> IrResult<()> {
-        let rebuild = config.policy != self.config.policy
-            || config.buffer_pages != self.config.buffer_pages;
+        let rebuild =
+            config.policy != self.config.policy || config.buffer_pages != self.config.buffer_pages;
         if rebuild {
-            self.buffer = self
-                .index
-                .make_buffer(config.buffer_pages, config.policy)?;
+            self.buffer = self.index.make_buffer(config.buffer_pages, config.policy)?;
         }
         self.config = config;
         Ok(())

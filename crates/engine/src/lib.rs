@@ -22,8 +22,10 @@
 
 pub mod corpus_load;
 pub mod engine;
+pub mod server;
 
 pub use corpus_load::{
     index_corpus, index_corpus_opts, index_corpus_with, topic_query_terms, IndexCorpusOptions,
 };
 pub use engine::{EngineConfig, SearchEngine};
+pub use server::{PoolLayout, Schedule, ServerReport, SessionServer, SessionSpec};

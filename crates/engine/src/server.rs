@@ -1,0 +1,637 @@
+//! The multi-session server: N concurrent refinement sessions over one
+//! buffer configuration (paper §3.3).
+//!
+//! The paper sketches two ways to extend RAP to multiple users —
+//! partitioned pools with cross-user borrowing, and a shared pool with
+//! a merged ("global") query history — and leaves the trade-off open.
+//! [`SessionServer`] makes both runnable: each session drives its own
+//! refinement sequence on its own OS thread, fetching pages through a
+//! thread-safe view of the chosen pool layout. Locking is per page
+//! fetch, so sessions genuinely interleave inside a single query, the
+//! contention pattern a time-sliced multi-user IR server produces.
+//!
+//! Two schedules are offered. [`Schedule::FreeRunning`] lets the OS
+//! interleave sessions arbitrarily — the realistic mode, where only
+//! invariants (not exact counts) are stable. [`Schedule::RoundRobin`]
+//! passes a turn token so refinement `k` of user `u` always runs after
+//! refinement `k` of user `u − 1`: still multi-threaded, but the page
+//! request stream is deterministic, which is what a reproducible
+//! experiment needs.
+//!
+//! A caveat on attribution: each session's `disk_reads` counter is
+//! measured as a pool-miss delta around its own scans, so under
+//! [`Schedule::FreeRunning`] a concurrent session's misses can land in
+//! the window and inflate it. Pool-level counters are always exact;
+//! per-session ones are exact under [`Schedule::RoundRobin`], where
+//! queries never overlap.
+
+use ir_core::eval::{evaluate, EvalOptions};
+use ir_core::{Algorithm, Query, RefinementSequence, SequenceOutcome, StepOutcome};
+use ir_index::InvertedIndex;
+use ir_storage::{
+    BufferStats, DiskSim, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
+    SharedBufferManager, SharedPartitionedBuffer,
+};
+use ir_types::{IrError, IrResult, PageId, TermId};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How the server provisions buffer memory for its sessions.
+#[derive(Clone, Copy, Debug)]
+pub enum PoolLayout {
+    /// One pool shared by every session (paper §3.3, option 2).
+    Shared {
+        /// Pool size in frames.
+        total_frames: usize,
+        /// Replacement policy for the shared pool.
+        policy: PolicyKind,
+        /// Maintain a global query history: every announcement is the
+        /// per-term **max** over all sessions' current queries, so one
+        /// user's re-valuation cannot zero another user's pages. Only
+        /// meaningful for query-aware policies (RAP).
+        global_history: bool,
+    },
+    /// One private partition per session over the shared store, with
+    /// read-only sibling borrowing (paper §3.3, option 1).
+    Partitioned {
+        /// Frames in each session's partition.
+        frames_each: usize,
+        /// Replacement policy run inside every partition.
+        policy: PolicyKind,
+    },
+}
+
+/// How session threads are interleaved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schedule {
+    /// No coordination: the OS scheduler interleaves page requests.
+    /// Realistic, but exact counters vary run to run.
+    FreeRunning,
+    /// Refinements proceed in lockstep round-robin order (user 0's
+    /// step `k`, then user 1's step `k`, ...): deterministic request
+    /// stream, reproducible counters.
+    RoundRobin,
+}
+
+/// One session's workload: a refinement sequence and how to evaluate
+/// it.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// The refinement sequence this session submits.
+    pub sequence: RefinementSequence,
+    /// Evaluation algorithm (the paper's multi-user runs use BAF).
+    pub algorithm: Algorithm,
+    /// Evaluation knobs. `announce_query` should stay `true`; under
+    /// [`PoolLayout::Shared`] with `global_history` the server
+    /// intercepts the announcement and merges it into the global
+    /// history before it reaches the pool.
+    pub options: EvalOptions,
+}
+
+impl SessionSpec {
+    /// A session with the paper's default evaluation options.
+    pub fn new(sequence: RefinementSequence, algorithm: Algorithm) -> Self {
+        SessionSpec {
+            sequence,
+            algorithm,
+            options: EvalOptions::default(),
+        }
+    }
+}
+
+/// What a [`SessionServer::run`] call observed.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Per-session outcomes, in spec order.
+    pub sessions: Vec<SequenceOutcome>,
+    /// Pool counters aggregated over every session's traffic.
+    pub pool_stats: BufferStats,
+    /// Disk reads avoided by cross-partition borrowing (always 0 for
+    /// [`PoolLayout::Shared`]).
+    pub sibling_hits: u64,
+    /// Total frames provisioned across the layout.
+    pub total_frames: usize,
+    /// Frames occupied when the last session finished.
+    pub final_occupancy: usize,
+    /// Sum of per-term resident page counts (`b_t`) at the end of the
+    /// run. Always equals `final_occupancy`: every frame holds exactly
+    /// one page of exactly one term's list.
+    pub resident_term_pages: u64,
+}
+
+impl ServerReport {
+    /// Total disk reads over all sessions (the paper's cost metric).
+    pub fn total_disk_reads(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(SequenceOutcome::total_disk_reads)
+            .sum()
+    }
+}
+
+/// Turn token for [`Schedule::RoundRobin`]: thread `u` runs global
+/// turn `step · n + u`, so queries execute in the exact order the
+/// single-threaded round-robin driver would submit them.
+#[derive(Debug, Default)]
+struct Turnstile {
+    turn: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Turnstile {
+    fn wait_for(&self, t: usize) {
+        let mut turn = self.turn.lock().expect("turnstile poisoned");
+        while *turn < t {
+            turn = self.cv.wait(turn).expect("turnstile poisoned");
+        }
+    }
+
+    fn advance(&self) {
+        *self.turn.lock().expect("turnstile poisoned") += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Shared registry of every session's current query weights, for the
+/// global-history layout. Announcements merge by per-term max, the
+/// paper's "if a term is shared by many queries, the highest
+/// `w_{q,t}` could be used".
+type WeightRegistry = Mutex<Vec<HashMap<TermId, f64>>>;
+
+/// The buffer view one session thread evaluates against.
+#[derive(Debug)]
+enum SessionBuffer {
+    Shared(SharedBufferManager<Arc<DiskSim>>),
+    GlobalShared {
+        pool: SharedBufferManager<Arc<DiskSim>>,
+        registry: Arc<WeightRegistry>,
+        user: usize,
+    },
+    Partition(PartitionHandle<DiskSim>),
+}
+
+impl QueryBuffer for SessionBuffer {
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        match self {
+            SessionBuffer::Shared(p) => p.fetch(id),
+            SessionBuffer::GlobalShared { pool, .. } => pool.fetch(id),
+            SessionBuffer::Partition(h) => h.fetch(id),
+        }
+    }
+
+    fn resident_pages(&self, term: TermId) -> u32 {
+        match self {
+            SessionBuffer::Shared(p) => p.resident_pages(term),
+            SessionBuffer::GlobalShared { pool, .. } => pool.resident_pages(term),
+            SessionBuffer::Partition(h) => h.resident_pages(term),
+        }
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        match self {
+            SessionBuffer::Shared(p) => p.begin_query(weights),
+            SessionBuffer::GlobalShared {
+                pool,
+                registry,
+                user,
+            } => {
+                let merged = {
+                    let mut reg = registry.lock().expect("weight registry poisoned");
+                    reg[*user] = weights.clone();
+                    let mut merged: HashMap<TermId, f64> = HashMap::new();
+                    for per_user in reg.iter() {
+                        for (&t, &w) in per_user {
+                            let e = merged.entry(t).or_insert(w);
+                            if w > *e {
+                                *e = w;
+                            }
+                        }
+                    }
+                    merged
+                };
+                pool.begin_query(&merged);
+            }
+            SessionBuffer::Partition(h) => h.begin_query(weights),
+        }
+    }
+
+    fn stats(&self) -> BufferStats {
+        match self {
+            SessionBuffer::Shared(p) => p.stats(),
+            SessionBuffer::GlobalShared { pool, .. } => pool.stats(),
+            SessionBuffer::Partition(h) => h.stats(),
+        }
+    }
+}
+
+/// The pool a run provisions, in its thread-shareable form.
+#[derive(Debug)]
+enum ServerPool {
+    Shared {
+        pool: SharedBufferManager<Arc<DiskSim>>,
+        registry: Option<Arc<WeightRegistry>>,
+    },
+    Partitioned(SharedPartitionedBuffer<DiskSim>),
+}
+
+/// Runs N refinement sessions concurrently against one buffer layout.
+///
+/// Each [`run`](SessionServer::run) provisions a **cold** pool (the
+/// paper clears the cache before each sequence, §5.2.1), spawns one
+/// scoped thread per [`SessionSpec`], and joins them all before
+/// returning, so the report reflects a complete, quiesced run.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionServer<'a> {
+    index: &'a InvertedIndex,
+    layout: PoolLayout,
+}
+
+impl<'a> SessionServer<'a> {
+    /// A server over `index` with the given pool layout.
+    pub fn new(index: &'a InvertedIndex, layout: PoolLayout) -> Self {
+        SessionServer { index, layout }
+    }
+
+    /// The layout sessions run against.
+    pub fn layout(&self) -> PoolLayout {
+        self.layout
+    }
+
+    /// Runs one session per spec, all concurrently, and reports the
+    /// combined outcome.
+    ///
+    /// # Errors
+    /// Pool construction errors ([`IrError::EmptyBufferPool`]) and the
+    /// first evaluation error any session hit. A failed session stops
+    /// evaluating but keeps taking its round-robin turns, so the other
+    /// sessions always run to completion.
+    pub fn run(&self, specs: &[SessionSpec], schedule: Schedule) -> IrResult<ServerReport> {
+        let n = specs.len();
+        if n == 0 {
+            return Ok(ServerReport {
+                sessions: Vec::new(),
+                pool_stats: BufferStats::default(),
+                sibling_hits: 0,
+                total_frames: 0,
+                final_occupancy: 0,
+                resident_term_pages: 0,
+            });
+        }
+        let (pool, total_frames) = match self.layout {
+            PoolLayout::Shared {
+                total_frames,
+                policy,
+                global_history,
+            } => {
+                let bm = self.index.make_buffer(total_frames, policy)?;
+                let registry = global_history
+                    .then(|| Arc::new(Mutex::new(vec![HashMap::<TermId, f64>::new(); n])));
+                (
+                    ServerPool::Shared {
+                        pool: SharedBufferManager::new(bm),
+                        registry,
+                    },
+                    total_frames,
+                )
+            }
+            PoolLayout::Partitioned {
+                frames_each,
+                policy,
+            } => {
+                let pb =
+                    PartitionedBuffer::new(Arc::clone(self.index.disk()), n, frames_each, policy)?;
+                (
+                    ServerPool::Partitioned(SharedPartitionedBuffer::new(pb)),
+                    frames_each * n,
+                )
+            }
+        };
+        let max_steps = specs
+            .iter()
+            .map(|s| s.sequence.steps.len())
+            .max()
+            .unwrap_or(0);
+        let turns = Turnstile::default();
+        let index = self.index;
+        let results: Vec<IrResult<SequenceOutcome>> = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (user, spec) in specs.iter().enumerate() {
+                let mut buffer = match &pool {
+                    ServerPool::Shared { pool, registry } => match registry {
+                        Some(reg) => SessionBuffer::GlobalShared {
+                            pool: pool.clone(),
+                            registry: Arc::clone(reg),
+                            user,
+                        },
+                        None => SessionBuffer::Shared(pool.clone()),
+                    },
+                    ServerPool::Partitioned(p) => SessionBuffer::Partition(p.handle(user)),
+                };
+                let turns = &turns;
+                handles.push(scope.spawn(move |_| {
+                    let mut steps = Vec::with_capacity(spec.sequence.steps.len());
+                    let mut failure: Option<IrError> = None;
+                    for step in 0..max_steps {
+                        if schedule == Schedule::RoundRobin {
+                            turns.wait_for(step * n + user);
+                        }
+                        if failure.is_none() {
+                            if let Some(terms) = spec.sequence.steps.get(step) {
+                                // A panic inside evaluation must not
+                                // strand the other sessions at the
+                                // turnstile: catch it and fail this
+                                // session like any other error.
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        Query::from_ids(index, terms).and_then(|q| {
+                                            evaluate(
+                                                spec.algorithm,
+                                                index,
+                                                &mut buffer,
+                                                &q,
+                                                spec.options,
+                                            )
+                                        })
+                                    }))
+                                    .unwrap_or_else(|_| {
+                                        Err(IrError::InvalidConfig(
+                                            "session evaluation panicked".into(),
+                                        ))
+                                    });
+                                match outcome {
+                                    Ok(result) => steps.push(StepOutcome {
+                                        stats: result.stats,
+                                        hits: result.hits,
+                                        avg_precision: None,
+                                    }),
+                                    Err(e) => failure = Some(e),
+                                }
+                            }
+                        }
+                        if schedule == Schedule::RoundRobin {
+                            turns.advance();
+                        }
+                    }
+                    match failure {
+                        Some(e) => Err(e),
+                        None => Ok(SequenceOutcome { steps }),
+                    }
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(IrError::InvalidConfig("session thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
+        .expect("session scope cannot fail: all threads are joined");
+        let sessions = results.into_iter().collect::<IrResult<Vec<_>>>()?;
+        let n_terms = self.index.lexicon().len() as u32;
+        let all_terms = (0..n_terms).map(TermId);
+        let (pool_stats, sibling_hits, final_occupancy, resident_term_pages) = match &pool {
+            ServerPool::Shared { pool, .. } => pool.with(|bm| {
+                let b_t: u64 = all_terms.map(|t| u64::from(bm.resident_pages(t))).sum();
+                (bm.stats(), 0, bm.len(), b_t)
+            }),
+            ServerPool::Partitioned(p) => p.with(|pb| {
+                let b_t: u64 = all_terms
+                    .map(|t| {
+                        (0..pb.n_partitions())
+                            .map(|pid| u64::from(pb.resident_pages(pid, t)))
+                            .sum::<u64>()
+                    })
+                    .sum();
+                (pb.total_stats(), pb.sibling_hits(), pb.occupancy(), b_t)
+            }),
+        };
+        Ok(ServerReport {
+            sessions,
+            pool_stats,
+            sibling_hits,
+            total_frames,
+            final_occupancy,
+            resident_term_pages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir_index::{BuildOptions, IndexBuilder};
+    use ir_types::IndexParams;
+
+    /// A collection where four topic terms overlap in every document
+    /// mix, so concurrent sessions contend for the same pages.
+    fn index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in 0..60u32 {
+            // Every doc carries a filler term with positive idf, so no
+            // candidate ever has a zero-length weight vector.
+            let mut doc = vec![["red", "green", "blue"][(d % 3) as usize]];
+            if d % 2 == 0 {
+                doc.push("alpha");
+            }
+            if d % 3 == 0 {
+                doc.push("beta");
+            }
+            if d % 4 == 0 {
+                doc.push("gamma");
+            }
+            if d % 5 == 0 {
+                doc.push("delta");
+            }
+            if d % 7 == 0 {
+                doc.extend(["epsilon", "epsilon"]);
+            }
+            b.add_document(doc);
+        }
+        b.build(BuildOptions {
+            params: IndexParams::with_page_size(2),
+            ..BuildOptions::default()
+        })
+        .unwrap()
+    }
+
+    /// An ADD-ONLY sequence over `names`: step k queries names[..=k].
+    fn seq(idx: &InvertedIndex, names: &[&str]) -> RefinementSequence {
+        let t = |n: &str| idx.lexicon().lookup(n).unwrap();
+        let steps = (0..names.len())
+            .map(|k| names[..=k].iter().map(|n| (t(n), 1)).collect())
+            .collect();
+        RefinementSequence {
+            kind: ir_core::RefinementKind::AddOnly,
+            source: 0,
+            steps,
+        }
+    }
+
+    /// Four users whose refinements all lean on the common terms.
+    fn specs(idx: &InvertedIndex) -> Vec<SessionSpec> {
+        [
+            ["alpha", "beta", "gamma"],
+            ["beta", "alpha", "delta"],
+            ["gamma", "alpha", "epsilon"],
+            ["delta", "beta", "alpha"],
+        ]
+        .iter()
+        .map(|names| SessionSpec::new(seq(idx, names), Algorithm::Baf))
+        .collect()
+    }
+
+    #[test]
+    fn four_threaded_sessions_on_a_shared_pool_keep_invariants() {
+        let idx = index();
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 12,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        );
+        let report = server.run(&specs(&idx), Schedule::FreeRunning).unwrap();
+        assert_eq!(report.sessions.len(), 4);
+        assert!(report.sessions.iter().all(|s| s.steps.len() == 3));
+        let s = report.pool_stats;
+        assert_eq!(s.hits + s.misses, s.requests, "{s:?}");
+        assert!(report.final_occupancy <= report.total_frames);
+        assert_eq!(report.resident_term_pages, report.final_occupancy as u64);
+        // Every session did real work. (Per-session read attribution
+        // is delta-based and only exact under RoundRobin — see below —
+        // so FreeRunning checks pool-level invariants only.)
+        assert!(report.total_disk_reads() > 0);
+        assert!(s.misses > 0);
+    }
+
+    #[test]
+    fn round_robin_read_attribution_matches_the_pool() {
+        let idx = index();
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 12,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        );
+        let report = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
+        // With queries serialized, the per-session miss deltas carve
+        // the pool's miss count up exactly.
+        assert_eq!(report.pool_stats.misses, report.total_disk_reads());
+        assert_eq!(
+            report.pool_stats.hits + report.pool_stats.misses,
+            report.pool_stats.requests
+        );
+    }
+
+    #[test]
+    fn round_robin_schedule_is_deterministic() {
+        let idx = index();
+        for layout in [
+            PoolLayout::Shared {
+                total_frames: 10,
+                policy: PolicyKind::Rap,
+                global_history: true,
+            },
+            PoolLayout::Partitioned {
+                frames_each: 3,
+                policy: PolicyKind::Rap,
+            },
+        ] {
+            let server = SessionServer::new(&idx, layout);
+            let a = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
+            let b = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
+            let reads = |r: &ServerReport| {
+                r.sessions
+                    .iter()
+                    .map(SequenceOutcome::total_disk_reads)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(reads(&a), reads(&b), "{layout:?}");
+            assert_eq!(a.sibling_hits, b.sibling_hits, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn partitioned_sessions_borrow_from_siblings() {
+        let idx = index();
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Partitioned {
+                frames_each: 4,
+                policy: PolicyKind::Rap,
+            },
+        );
+        let report = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
+        assert!(
+            report.sibling_hits > 0,
+            "overlapping queries must borrow across partitions: {report:?}"
+        );
+        let s = report.pool_stats;
+        assert_eq!(s.hits + s.misses, s.requests);
+        assert!(report.final_occupancy <= report.total_frames);
+        assert_eq!(report.resident_term_pages, report.final_occupancy as u64);
+        // Borrowing means strictly fewer store reads than four private
+        // pools of the same size serving the same sequences.
+        let private = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 4,
+                policy: PolicyKind::Rap,
+                global_history: false,
+            },
+        );
+        let private_total: u64 = specs(&idx)
+            .iter()
+            .map(|spec| {
+                private
+                    .run(std::slice::from_ref(spec), Schedule::RoundRobin)
+                    .unwrap()
+                    .total_disk_reads()
+            })
+            .sum();
+        assert!(
+            report.total_disk_reads() < private_total,
+            "sibling borrowing should beat private pools: {} vs {private_total}",
+            report.total_disk_reads()
+        );
+    }
+
+    #[test]
+    fn empty_spec_list_is_a_clean_noop() {
+        let idx = index();
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 4,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        );
+        let report = server.run(&[], Schedule::FreeRunning).unwrap();
+        assert!(report.sessions.is_empty());
+        assert_eq!(report.pool_stats.requests, 0);
+    }
+
+    #[test]
+    fn failed_session_does_not_wedge_the_others() {
+        let idx = index();
+        let mut bad = specs(&idx);
+        bad[2].sequence.steps[1] = vec![(TermId(9999), 1)];
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 8,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        );
+        // The bad session errors, but the run terminates (no deadlock
+        // on the turnstile) and reports the error.
+        assert!(server.run(&bad, Schedule::RoundRobin).is_err());
+    }
+}

@@ -405,9 +405,7 @@ mod tests {
         assert_eq!(lex.entry(stock).unwrap().f_max, 2);
         // idf = log2(3/2) for stock/price, log2(3) for bond.
         assert!((lex.entry(bond).unwrap().idf - 3f64.log2()).abs() < 1e-12);
-        assert!(
-            (lex.entry(stock).unwrap().idf - (3f64 / 2.0).log2()).abs() < 1e-12
-        );
+        assert!((lex.entry(stock).unwrap().idf - (3f64 / 2.0).log2()).abs() < 1e-12);
     }
 
     #[test]
@@ -481,8 +479,14 @@ mod tests {
 
         assert_eq!(i1.n_docs(), i2.n_docs());
         for name in ["a", "b", "c"] {
-            let e1 = i1.lexicon().entry(i1.lexicon().lookup(name).unwrap()).unwrap();
-            let e2 = i2.lexicon().entry(i2.lexicon().lookup(name).unwrap()).unwrap();
+            let e1 = i1
+                .lexicon()
+                .entry(i1.lexicon().lookup(name).unwrap())
+                .unwrap();
+            let e2 = i2
+                .lexicon()
+                .entry(i2.lexicon().lookup(name).unwrap())
+                .unwrap();
             assert_eq!(e1.doc_freq, e2.doc_freq, "{name}");
             assert_eq!(e1.f_max, e2.f_max, "{name}");
         }
@@ -513,7 +517,9 @@ mod tests {
         let docs: Vec<Vec<(u32, u32)>> = (0..200)
             .map(|_| {
                 let n = rng.gen_range(1..20);
-                (0..n).map(|_| (rng.gen_range(0..50), rng.gen_range(1..6))).collect()
+                (0..n)
+                    .map(|_| (rng.gen_range(0..50), rng.gen_range(1..6)))
+                    .collect()
             })
             .collect();
         let build = |parallel: bool| {

@@ -112,11 +112,7 @@ pub fn encode_postings(postings: &[Posting]) -> Bytes {
         // Doc-id gaps within the run.
         let mut prev_doc = 0u32;
         for (k, p) in postings[i..j].iter().enumerate() {
-            let gap = if k == 0 {
-                p.doc.0
-            } else {
-                p.doc.0 - prev_doc
-            };
+            let gap = if k == 0 { p.doc.0 } else { p.doc.0 - prev_doc };
             put_vbyte(&mut buf, u64::from(gap));
             prev_doc = p.doc.0;
         }

@@ -196,8 +196,7 @@ mod tests {
         let ls = lists(3, 40);
         let page_size = 7;
         let exact = ConversionTable::build(ls.iter().map(|l| l.as_slice()), page_size);
-        let compact =
-            CompactConversionTable::build(ls.iter().map(|l| l.as_slice()), page_size, 10);
+        let compact = CompactConversionTable::build(ls.iter().map(|l| l.as_slice()), page_size, 10);
         for (t, _) in ls.iter().enumerate() {
             let term = TermId(t as u32);
             for f in 0..=10u32 {

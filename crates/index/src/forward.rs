@@ -18,9 +18,7 @@ impl ForwardIndex {
     /// Wraps prebuilt vectors (index = document id, each sorted by
     /// term id).
     pub fn new(docs: Vec<Vec<(TermId, u32)>>) -> Self {
-        debug_assert!(docs
-            .iter()
-            .all(|d| d.windows(2).all(|w| w[0].0 < w[1].0)));
+        debug_assert!(docs.iter().all(|d| d.windows(2).all(|w| w[0].0 < w[1].0)));
         ForwardIndex { docs }
     }
 

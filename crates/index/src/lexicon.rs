@@ -194,8 +194,12 @@ mod tests {
     #[test]
     fn idf_bands_partition_terms() {
         let mut lex = Lexicon::new();
-        for (name, idf, pages) in [("a", 2.0, 100), ("b", 4.0, 20), ("c", 9.0, 1), ("d", 2.5, 60)]
-        {
+        for (name, idf, pages) in [
+            ("a", 2.0, 100),
+            ("b", 4.0, 20),
+            ("c", 9.0, 1),
+            ("d", 2.5, 60),
+        ] {
             let id = lex.intern(name);
             let e = lex.entry_mut(id);
             e.idf = idf;

@@ -32,7 +32,9 @@ use crate::docstats::DocStats;
 use crate::index::InvertedIndex;
 use crate::lexicon::Lexicon;
 use ir_storage::{DiskSim, Page};
-use ir_types::{doc_order, frequency_order, IndexParams, IrError, ListOrdering, PageId, Posting, TermId};
+use ir_types::{
+    doc_order, frequency_order, IndexParams, IrError, ListOrdering, PageId, Posting, TermId,
+};
 use std::fmt;
 use std::fs;
 use std::io::{Read, Write};
@@ -261,7 +263,9 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
         }
     };
     if n_docs == 0 || page_size == 0 {
-        return Err(PersistError::Corrupt("empty collection or zero page size".into()));
+        return Err(PersistError::Corrupt(
+            "empty collection or zero page size".into(),
+        ));
     }
 
     // Lexicon.
@@ -286,7 +290,9 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
         };
         let id = lexicon.intern(&name);
         if id != TermId(t as u32) {
-            return Err(PersistError::Corrupt(format!("duplicate term name {name:?}")));
+            return Err(PersistError::Corrupt(format!(
+                "duplicate term name {name:?}"
+            )));
         }
         metas.push((doc_freq, f_max, n_postings, stopped));
     }
@@ -407,11 +413,17 @@ mod tests {
             assert_eq!(l.f_max, e.f_max);
             assert_eq!(l.n_pages, e.n_pages);
             assert_eq!(l.stopped, e.stopped);
-            assert!((l.idf - e.idf).abs() < 1e-15, "idf must reconstruct exactly");
+            assert!(
+                (l.idf - e.idf).abs() < 1e-15,
+                "idf must reconstruct exactly"
+            );
         }
         for d in 0..idx.n_docs() {
             let a = idx.doc_stats().vector_length(ir_types::DocId(d)).unwrap();
-            let b = loaded.doc_stats().vector_length(ir_types::DocId(d)).unwrap();
+            let b = loaded
+                .doc_stats()
+                .vector_length(ir_types::DocId(d))
+                .unwrap();
             assert_eq!(a.to_bits(), b.to_bits(), "W_d must round-trip bit-exactly");
         }
         // Page contents identical.
@@ -428,8 +440,13 @@ mod tests {
         for (term, e) in idx.lexicon().iter() {
             for f in 0..=e.f_max + 1 {
                 assert_eq!(
-                    idx.conversion().pages_to_process(term, f64::from(f)).unwrap(),
-                    loaded.conversion().pages_to_process(term, f64::from(f)).unwrap()
+                    idx.conversion()
+                        .pages_to_process(term, f64::from(f))
+                        .unwrap(),
+                    loaded
+                        .conversion()
+                        .pages_to_process(term, f64::from(f))
+                        .unwrap()
                 );
             }
         }
@@ -452,7 +469,11 @@ mod tests {
             let mut total = 0u64;
             for p in 0..index.n_pages(stock).unwrap() {
                 let page = buf.fetch(PageId::new(stock, p)).unwrap();
-                total += page.postings().iter().map(|x| u64::from(x.freq)).sum::<u64>();
+                total += page
+                    .postings()
+                    .iter()
+                    .map(|x| u64::from(x.freq))
+                    .sum::<u64>();
             }
             (total, buf.stats().misses)
         };

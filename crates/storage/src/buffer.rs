@@ -33,15 +33,19 @@ use std::collections::HashMap;
 ///
 /// # Pinning
 ///
-/// The evaluator processes one page completely before fetching the next,
-/// so in this single-threaded simulator no page is ever in use while an
-/// eviction runs; pages returned by [`fetch`](BufferManager::fetch) are
-/// `Arc`-backed and stay valid regardless of eviction. An explicit
-/// [`pin`](BufferManager::pin) is provided for callers that need a page
-/// to *stay resident* across other fetches (the multi-user extension
-/// uses it). Note the deliberate asymmetry with the paper's §5.2.1
-/// observation: RAP may evict not-yet-scanned pages of the active list —
-/// nothing protects them here either.
+/// Pages returned by [`fetch`](BufferManager::fetch) are `Arc`-backed
+/// and stay valid regardless of eviction, so single-threaded evaluation
+/// needs no pins at all. For callers that need a page to *stay
+/// resident* across other fetches (the multi-session server keeps each
+/// session's current page resident), every frame carries a **pin
+/// count**: [`pin`](BufferManager::pin) increments it,
+/// [`unpin`](BufferManager::unpin) decrements it, and eviction skips
+/// any page whose count is non-zero. Pins nest — two sessions may pin
+/// the same frame independently — and [`IrError::NoEvictableFrame`] is
+/// returned only when *every* frame is pinned. Note the deliberate
+/// asymmetry with the paper's §5.2.1 observation: RAP may evict
+/// not-yet-scanned pages of the active list — nothing protects them
+/// unless a caller pins them.
 ///
 /// # `b_t` counters
 ///
@@ -58,7 +62,7 @@ pub struct BufferManager<S: PageStore> {
     policy: Box<dyn ReplacementPolicy>,
     policy_kind: PolicyKind,
     resident_per_term: HashMap<TermId, u32>,
-    pinned: Option<PageId>,
+    pins: HashMap<PageId, u32>,
     stats: BufferStats,
     observer: Option<Box<dyn BufferObserver>>,
 }
@@ -79,7 +83,7 @@ impl<S: PageStore> BufferManager<S> {
             policy: policy.build(capacity),
             policy_kind: policy,
             resident_per_term: HashMap::new(),
-            pinned: None,
+            pins: HashMap::new(),
             stats: BufferStats::default(),
             observer: None,
         })
@@ -95,17 +99,61 @@ impl<S: PageStore> BufferManager<S> {
             self.notify(BufferEvent::Hit(id));
             return Ok(page);
         }
-        // Miss: make room first, then read.
-        while self.frames.len() >= self.capacity {
-            self.evict_one()?;
+        // Miss: read the replacement first, then make room. A failed
+        // read therefore leaves the pool exactly as it was — the old
+        // evict-then-read order destroyed a victim frame for a page
+        // that never arrived.
+        if self.frames.len() >= self.capacity && !self.has_evictable_frame() {
+            return Err(IrError::NoEvictableFrame);
         }
         let page = self.store.read_page(id)?;
         self.stats.misses += 1;
-        self.frames.insert(id, page.clone());
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.install(page.clone());
+        Ok(page)
+    }
+
+    /// Inserts `page` into a frame **without a store read** — the
+    /// admission half of a fetch, for pages obtained elsewhere (a
+    /// sibling partition's frame, a recovery image). Makes room by
+    /// normal eviction; a page that is already resident is left as is.
+    ///
+    /// Admission itself touches no request/hit/miss counter (only
+    /// `evictions`, if room had to be made): the caller decides what
+    /// the admission means for its accounting, typically by following
+    /// up with a [`fetch`](Self::fetch) that now hits.
+    ///
+    /// # Errors
+    /// [`IrError::NoEvictableFrame`] if the pool is full of pinned
+    /// pages; the pool is left unchanged.
+    pub fn admit(&mut self, page: Page) -> IrResult<()> {
+        if self.frames.contains_key(&page.id()) {
+            return Ok(());
+        }
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.install(page);
+        Ok(())
+    }
+
+    /// Puts a non-resident page into a free frame and wires up the
+    /// counters, policy, and observer.
+    fn install(&mut self, page: Page) {
+        let id = page.id();
         *self.resident_per_term.entry(id.term).or_insert(0) += 1;
         self.policy.on_insert(&page);
+        self.frames.insert(id, page);
         self.notify(BufferEvent::Load(id));
-        Ok(page)
+    }
+
+    /// Is any resident page evictable? O(1) while fewer pages are
+    /// pinned than resident; a scan only when the two counts tie.
+    fn has_evictable_frame(&self) -> bool {
+        self.pins.len() < self.frames.len()
+            || self.frames.keys().any(|id| !self.pins.contains_key(id))
     }
 
     #[inline]
@@ -116,9 +164,10 @@ impl<S: PageStore> BufferManager<S> {
     }
 
     fn evict_one(&mut self) -> IrResult<()> {
+        let pins = &self.pins;
         let victim = self
             .policy
-            .choose_victim(self.pinned)
+            .choose_victim(&|id| pins.contains_key(&id))
             .ok_or(IrError::NoEvictableFrame)?;
         debug_assert!(
             self.frames.contains_key(&victim),
@@ -149,6 +198,14 @@ impl<S: PageStore> BufferManager<S> {
         self.frames.contains_key(&id)
     }
 
+    /// Returns the resident page without touching statistics, the
+    /// replacement policy, or the observer — a side-effect-free read
+    /// for cross-partition borrowing and diagnostics.
+    #[inline]
+    pub fn peek(&self, id: PageId) -> Option<Page> {
+        self.frames.get(&id).cloned()
+    }
+
     /// Announces the term weights `w_{q,t}` of the query about to be
     /// evaluated. RAP re-values all resident pages; other policies
     /// ignore it.
@@ -156,9 +213,33 @@ impl<S: PageStore> BufferManager<S> {
         self.policy.begin_query(weights);
     }
 
-    /// Pins one page so it cannot be evicted; pass `None` to unpin.
-    pub fn pin(&mut self, id: Option<PageId>) {
-        self.pinned = id;
+    /// Increments `id`'s pin count; a pinned page is never evicted.
+    /// Pins nest: the page stays protected until every [`pin`](Self::pin)
+    /// is matched by an [`unpin`](Self::unpin).
+    pub fn pin(&mut self, id: PageId) {
+        *self.pins.entry(id).or_insert(0) += 1;
+    }
+
+    /// Decrements `id`'s pin count, making the page evictable again
+    /// once the count reaches zero. Unpinning a page that is not
+    /// pinned is a caller bug; it panics in debug builds and is a
+    /// no-op in release builds.
+    pub fn unpin(&mut self, id: PageId) {
+        match self.pins.get_mut(&id) {
+            Some(count) => {
+                *count -= 1;
+                if *count == 0 {
+                    self.pins.remove(&id);
+                }
+            }
+            None => debug_assert!(false, "unpin of unpinned page {id:?}"),
+        }
+    }
+
+    /// Current pin count of `id` (0 when unpinned).
+    #[inline]
+    pub fn pin_count(&self, id: PageId) -> u32 {
+        self.pins.get(&id).copied().unwrap_or(0)
     }
 
     /// Empties the pool (the paper flushes buffers between refinement
@@ -168,7 +249,7 @@ impl<S: PageStore> BufferManager<S> {
         self.frames.clear();
         self.resident_per_term.clear();
         self.policy.clear();
-        self.pinned = None;
+        self.pins.clear();
         self.notify(BufferEvent::Flush);
     }
 
@@ -315,23 +396,104 @@ mod tests {
     fn explicit_pin_survives_fetches() {
         let mut bm = BufferManager::new(store(1, 4), 2, PolicyKind::Lru).unwrap();
         bm.fetch(pid(0, 0)).unwrap();
-        bm.pin(Some(pid(0, 0)));
+        bm.pin(pid(0, 0));
         bm.fetch(pid(0, 1)).unwrap();
         bm.fetch(pid(0, 2)).unwrap();
         bm.fetch(pid(0, 3)).unwrap();
         assert!(bm.is_resident(pid(0, 0)), "pinned page must survive");
-        bm.pin(None);
+        bm.unpin(pid(0, 0));
         bm.fetch(pid(0, 1)).unwrap();
         bm.fetch(pid(0, 2)).unwrap();
         assert!(!bm.is_resident(pid(0, 0)));
     }
 
     #[test]
+    fn pin_counts_nest() {
+        let mut bm = BufferManager::new(store(1, 4), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.pin(pid(0, 0));
+        bm.pin(pid(0, 0)); // second, independent pin
+        assert_eq!(bm.pin_count(pid(0, 0)), 2);
+        bm.unpin(pid(0, 0));
+        // One pin remains: the page must still survive pressure.
+        bm.fetch(pid(0, 1)).unwrap();
+        bm.fetch(pid(0, 2)).unwrap();
+        bm.fetch(pid(0, 3)).unwrap();
+        assert!(bm.is_resident(pid(0, 0)));
+        bm.unpin(pid(0, 0));
+        assert_eq!(bm.pin_count(pid(0, 0)), 0);
+        bm.fetch(pid(0, 1)).unwrap();
+        bm.fetch(pid(0, 2)).unwrap();
+        assert!(
+            !bm.is_resident(pid(0, 0)),
+            "fully unpinned page is evictable"
+        );
+    }
+
+    #[test]
     fn capacity_one_with_pin_errors() {
         let mut bm = BufferManager::new(store(1, 2), 1, PolicyKind::Lru).unwrap();
         bm.fetch(pid(0, 0)).unwrap();
-        bm.pin(Some(pid(0, 0)));
-        assert!(matches!(bm.fetch(pid(0, 1)), Err(IrError::NoEvictableFrame)));
+        bm.pin(pid(0, 0));
+        assert!(matches!(
+            bm.fetch(pid(0, 1)),
+            Err(IrError::NoEvictableFrame)
+        ));
+        // The rejected fetch must not have read from disk: the pool
+        // detects the all-pinned state before issuing the read.
+        assert_eq!(bm.store().stats().reads, 1);
+        // Unpinning makes the fetch succeed again.
+        bm.unpin(pid(0, 0));
+        bm.fetch(pid(0, 1)).unwrap();
+        assert!(bm.is_resident(pid(0, 1)));
+    }
+
+    #[test]
+    fn admit_installs_without_a_store_read() {
+        let mut bm = BufferManager::new(store(1, 4), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        let reads_before = bm.store().stats().reads;
+        // Obtain a page image out of band and admit it.
+        let page = store(1, 4).read_page(pid(0, 1)).unwrap();
+        bm.admit(page).unwrap();
+        assert!(bm.is_resident(pid(0, 1)));
+        assert_eq!(
+            bm.store().stats().reads,
+            reads_before,
+            "admit must not touch the store"
+        );
+        assert_eq!(bm.resident_pages(TermId(0)), 2, "admit maintains b_t");
+        let s = bm.stats();
+        assert_eq!(
+            (s.requests, s.hits, s.misses),
+            (1, 0, 1),
+            "admit counts no request"
+        );
+        // The admitted page now serves hits like any fetched page.
+        bm.fetch(pid(0, 1)).unwrap();
+        assert_eq!(bm.stats().hits, 1);
+        // Admitting a resident page is a no-op.
+        let dup = store(1, 4).read_page(pid(0, 1)).unwrap();
+        bm.admit(dup).unwrap();
+        assert_eq!(bm.len(), 2);
+        assert_eq!(bm.resident_pages(TermId(0)), 2);
+    }
+
+    #[test]
+    fn admit_evicts_under_pressure_and_respects_pins() {
+        let mut bm = BufferManager::new(store(1, 4), 2, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.fetch(pid(0, 1)).unwrap();
+        let page = store(1, 4).read_page(pid(0, 2)).unwrap();
+        bm.admit(page).unwrap();
+        assert_eq!(bm.len(), 2, "admit respects capacity");
+        assert_eq!(bm.stats().evictions, 1);
+        // All frames pinned: admit has nowhere to put the page.
+        bm.pin(pid(0, 1));
+        bm.pin(pid(0, 2));
+        let blocked = store(1, 4).read_page(pid(0, 3)).unwrap();
+        assert!(matches!(bm.admit(blocked), Err(IrError::NoEvictableFrame)));
+        assert_eq!(bm.len(), 2, "failed admit leaves the pool unchanged");
     }
 
     #[test]
@@ -343,7 +505,7 @@ mod tests {
         bm.fetch(pid(0, 0)).unwrap(); // value: 3·1 = 3
         bm.fetch(pid(0, 2)).unwrap(); // value: 1·1 = 1
         bm.fetch(pid(1, 0)).unwrap(); // term 1 not in query: value 0
-        // Next fetch evicts the zero-valued dropped-term page first.
+                                      // Next fetch evicts the zero-valued dropped-term page first.
         bm.fetch(pid(0, 1)).unwrap();
         assert!(!bm.is_resident(pid(1, 0)));
         assert!(bm.is_resident(pid(0, 0)));
@@ -385,7 +547,11 @@ mod tests {
             let s = bm.stats();
             assert_eq!(s.requests, 500);
             assert_eq!(s.hits + s.misses, 500);
-            assert_eq!(s.misses, bm.store().stats().reads, "{kind} miss/disk mismatch");
+            assert_eq!(
+                s.misses,
+                bm.store().stats().reads,
+                "{kind} miss/disk mismatch"
+            );
             // b_t counters must sum to pool occupancy.
             let total: u32 = (0..4).map(|t| bm.resident_pages(TermId(t))).sum();
             assert_eq!(total as usize, bm.len(), "{kind} b_t drift");
@@ -432,7 +598,11 @@ mod tests {
         let err = bm.fetch(pid(0, 2)).unwrap_err();
         assert!(matches!(err, IrError::CorruptPage { .. }));
         assert_eq!(bm.len(), 2, "failed read must not occupy a frame");
-        assert_eq!(bm.resident_pages(TermId(0)), 2, "b_t must not drift on failure");
+        assert_eq!(
+            bm.resident_pages(TermId(0)),
+            2,
+            "b_t must not drift on failure"
+        );
         let s = bm.stats();
         assert_eq!(s.misses, 2, "a failed read is not a completed miss");
         // The resident pages are still served from the pool.
@@ -441,9 +611,10 @@ mod tests {
     }
 
     #[test]
-    fn failed_read_after_eviction_keeps_counters_consistent() {
-        // Capacity 1: fetching a new page evicts first, THEN the read
-        // fails — the pool ends up empty but consistent.
+    fn failed_read_keeps_victim_resident() {
+        // Capacity 1: the replacement is read BEFORE any eviction, so
+        // a failed read leaves the victim frame untouched — the old
+        // evict-then-read order emptied the pool for nothing.
         let failing = FailingStore {
             inner: store(1, 3),
             allow: std::cell::Cell::new(1),
@@ -451,9 +622,17 @@ mod tests {
         let mut bm = BufferManager::new(failing, 1, PolicyKind::Lru).unwrap();
         bm.fetch(pid(0, 0)).unwrap();
         assert!(bm.fetch(pid(0, 1)).is_err());
-        assert_eq!(bm.len(), 0, "victim was evicted, replacement failed");
-        assert_eq!(bm.resident_pages(TermId(0)), 0);
-        assert_eq!(bm.stats().evictions, 1);
+        assert_eq!(bm.len(), 1, "victim must survive a failed replacement read");
+        assert!(bm.is_resident(pid(0, 0)));
+        assert_eq!(bm.resident_pages(TermId(0)), 1);
+        assert_eq!(
+            bm.stats().evictions,
+            0,
+            "no eviction for a page that never arrived"
+        );
+        // The survivor still serves hits.
+        bm.fetch(pid(0, 0)).unwrap();
+        assert_eq!(bm.stats().hits, 1);
     }
 
     #[test]

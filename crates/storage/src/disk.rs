@@ -177,8 +177,7 @@ mod tests {
             .map(|t| {
                 (0..pages_per_term)
                     .map(|p| {
-                        let postings: Vec<Posting> =
-                            vec![Posting::new(p, pages_per_term - p)];
+                        let postings: Vec<Posting> = vec![Posting::new(p, pages_per_term - p)];
                         Page::new(PageId::new(TermId(t), p), postings.into(), 1.0)
                     })
                     .collect()

@@ -33,6 +33,7 @@ pub mod observe;
 pub mod page;
 pub mod partition;
 pub mod policy;
+pub mod shared;
 pub mod stats;
 
 pub use buffer::BufferManager;
@@ -41,4 +42,5 @@ pub use observe::{BufferEvent, BufferObserver, EventLog};
 pub use page::Page;
 pub use partition::PartitionedBuffer;
 pub use policy::{PolicyKind, ReplacementPolicy};
+pub use shared::{PartitionHandle, QueryBuffer, SharedBufferManager, SharedPartitionedBuffer};
 pub use stats::BufferStats;

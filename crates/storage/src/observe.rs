@@ -24,9 +24,10 @@ pub enum BufferEvent {
 }
 
 /// Receiver of buffer events. Implementations must be `Debug` (the
-/// buffer manager derives it) — a plain struct around whatever state
-/// you collect.
-pub trait BufferObserver: fmt::Debug {
+/// buffer manager derives it) and `Send` (so an observed pool can be
+/// shared across session threads) — a plain struct around whatever
+/// state you collect.
+pub trait BufferObserver: fmt::Debug + Send {
     /// Called for every event, in order.
     fn event(&mut self, event: BufferEvent);
 }

@@ -69,20 +69,21 @@ impl<S: PageStore> PartitionedBuffer<S> {
         }
         // Sibling probe: a resident copy elsewhere saves the disk read
         // but still occupies a frame in `pid`'s own partition.
-        let sibling = (0..n).filter(|p| *p != pid).find(|p| self.partitions[*p].is_resident(id));
-        match sibling {
-            Some(_) => {
-                self.sibling_hits += 1;
-                // Count the borrow as a hit in `pid`'s partition by
-                // fetching through it after priming: simplest faithful
-                // accounting is a direct store-less insert, which the
-                // BufferManager API does not expose — so we model the
-                // borrow as a normal fetch whose disk read is refunded
-                // by the caller via `sibling_hits`.
-                self.partitions[pid].fetch(id)
-            }
-            None => self.partitions[pid].fetch(id),
+        let sibling = (0..n)
+            .filter(|p| *p != pid)
+            .find(|p| self.partitions[*p].is_resident(id));
+        if let Some(sp) = sibling {
+            let page = self.partitions[sp]
+                .peek(id)
+                .expect("sibling probe found the page resident");
+            // Borrow the sibling's frame: admit the copy store-lessly,
+            // then serve the request as the buffer hit it now is. The
+            // borrow counts as a hit (not a miss) in `pid`'s partition
+            // and issues zero reads against the shared store.
+            self.partitions[pid].admit(page)?;
+            self.sibling_hits += 1;
         }
+        self.partitions[pid].fetch(id)
     }
 
     /// Announces query weights for one partition's current query.
@@ -96,6 +97,14 @@ impl<S: PageStore> PartitionedBuffer<S> {
     /// the page (the paper's cross-user benefit, reported separately).
     pub fn sibling_hits(&self) -> u64 {
         self.sibling_hits
+    }
+
+    /// `b_t` within one partition: resident pages of `term`'s list in
+    /// `pid`'s own frames (sibling copies do not count).
+    pub fn resident_pages(&self, pid: PartitionId, term: TermId) -> u32 {
+        self.partitions
+            .get(pid)
+            .map_or(0, |p| p.resident_pages(term))
     }
 
     /// Statistics for one partition.
@@ -119,6 +128,11 @@ impl<S: PageStore> PartitionedBuffer<S> {
     /// Number of partitions.
     pub fn n_partitions(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// Frames in use across all partitions.
+    pub fn occupancy(&self) -> usize {
+        self.partitions.iter().map(BufferManager::len).sum()
     }
 
     /// Flushes every partition.
@@ -178,6 +192,34 @@ mod tests {
         assert_eq!(pb.sibling_hits(), 0);
         pb.fetch(1, pid(0, 0)).unwrap();
         assert_eq!(pb.sibling_hits(), 1);
+    }
+
+    #[test]
+    fn sibling_borrow_issues_no_store_read() {
+        let s = store(1, 2);
+        let mut pb = PartitionedBuffer::new(Arc::clone(&s), 2, 2, PolicyKind::Lru).unwrap();
+        pb.fetch(0, pid(0, 0)).unwrap(); // real miss: 1 disk read
+        let reads_before = s.stats().reads;
+        let misses_before = pb.total_stats().misses;
+        pb.fetch(1, pid(0, 0)).unwrap(); // borrowed from partition 0
+        assert_eq!(pb.sibling_hits(), 1);
+        assert_eq!(
+            s.stats().reads,
+            reads_before,
+            "borrow must not touch the disk"
+        );
+        assert_eq!(
+            pb.total_stats().misses,
+            misses_before,
+            "borrow is a hit, not a miss"
+        );
+        let s1 = pb.stats(1).unwrap();
+        assert_eq!((s1.requests, s1.hits, s1.misses), (1, 1, 0));
+        // The borrowed copy is now resident in partition 1: another
+        // fetch is an ordinary local hit, not a second sibling hit.
+        pb.fetch(1, pid(0, 0)).unwrap();
+        assert_eq!(pb.sibling_hits(), 1);
+        assert_eq!(pb.stats(1).unwrap().hits, 2);
     }
 
     #[test]

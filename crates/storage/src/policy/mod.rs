@@ -43,9 +43,13 @@ use std::str::FromStr;
 /// * `on_insert` is called exactly once per page while it is resident;
 /// * `on_hit` is only called for pages previously inserted;
 /// * `choose_victim` must return a currently tracked page (and forget
-///   it), never the `pinned` page;
+///   it), never a page for which the exclusion predicate holds;
 /// * after `clear` the policy tracks nothing.
-pub trait ReplacementPolicy: fmt::Debug {
+///
+/// Policies are `Send` so a pool can move behind a shared-pool mutex;
+/// they still need no internal synchronization (the pool serializes
+/// all calls).
+pub trait ReplacementPolicy: fmt::Debug + Send {
     /// Short human-readable name (e.g. `"LRU"`), used in reports.
     fn name(&self) -> &'static str;
 
@@ -55,10 +59,11 @@ pub trait ReplacementPolicy: fmt::Debug {
     /// A resident page was referenced again.
     fn on_hit(&mut self, page: &Page);
 
-    /// Selects a victim among tracked pages, excluding `pinned`, and
-    /// stops tracking it. Returns `None` only if every tracked page is
-    /// pinned (or nothing is tracked).
-    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId>;
+    /// Selects a victim among tracked pages, skipping every page for
+    /// which `exclude` returns `true` (the buffer manager passes its
+    /// pin-count check), and stops tracking it. Returns `None` only if
+    /// every tracked page is excluded (or nothing is tracked).
+    fn choose_victim(&mut self, exclude: &dyn Fn(PageId) -> bool) -> Option<PageId>;
 
     /// Stops tracking `id` without an eviction decision (external
     /// removal, e.g. a targeted invalidation).
@@ -201,7 +206,7 @@ pub(crate) mod testutil {
     /// Drains victims until empty, returning eviction order.
     pub(crate) fn drain(policy: &mut dyn ReplacementPolicy) -> Vec<PageId> {
         let mut out = Vec::new();
-        while let Some(v) = policy.choose_victim(None) {
+        while let Some(v) = policy.choose_victim(&|_| false) {
             out.push(v);
         }
         out

@@ -38,8 +38,8 @@ impl ReplacementPolicy for Mru {
         self.queue.touch(page.id());
     }
 
-    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId> {
-        self.queue.pop_newest(pinned)
+    fn choose_victim(&mut self, exclude: &dyn Fn(PageId) -> bool) -> Option<PageId> {
+        self.queue.pop_newest(exclude)
     }
 
     fn remove(&mut self, id: PageId) {
@@ -62,9 +62,9 @@ mod tests {
         let mut p = Mru::new();
         let pages = [page(0, 0, 1, 1.0), page(0, 1, 1, 1.0), page(0, 2, 1, 1.0)];
         insert_all(&mut p, &pages);
-        assert_eq!(p.choose_victim(None), Some(PageId::new(TermId(0), 2)));
+        assert_eq!(p.choose_victim(&|_| false), Some(PageId::new(TermId(0), 2)));
         p.on_hit(&pages[0]);
-        assert_eq!(p.choose_victim(None), Some(PageId::new(TermId(0), 0)));
+        assert_eq!(p.choose_victim(&|_| false), Some(PageId::new(TermId(0), 0)));
     }
 
     #[test]
@@ -77,7 +77,7 @@ mod tests {
         for i in 0..50 {
             let fresh = page(0, i, 1, 1.0);
             p.on_insert(&fresh);
-            let v = p.choose_victim(None).unwrap();
+            let v = p.choose_victim(&|_| false).unwrap();
             assert_ne!(v, old.id(), "MRU must never evict the cold page");
         }
     }
@@ -89,7 +89,7 @@ mod tests {
         let b = page(0, 1, 1, 1.0);
         p.on_insert(&a);
         p.on_insert(&b);
-        assert_eq!(p.choose_victim(Some(b.id())), Some(a.id()));
-        assert_eq!(p.choose_victim(Some(b.id())), None);
+        assert_eq!(p.choose_victim(&|p| p == b.id()), Some(a.id()));
+        assert_eq!(p.choose_victim(&|p| p == b.id()), None);
     }
 }

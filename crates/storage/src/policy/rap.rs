@@ -72,8 +72,15 @@ impl Rap {
 
     fn insert_keyed(&mut self, id: PageId, max_weight: f64) {
         let key = self.key_of(id, max_weight);
+        // A re-insert must drop the page's previous queue entry, or the
+        // stale key lingers in `by_value` and can later be handed out
+        // as a victim for a page the queue no longer tracks.
+        if let Some(old) = self.keys.insert(id, key) {
+            if old != key {
+                self.by_value.remove(&old);
+            }
+        }
         self.by_value.insert(key, id);
-        self.keys.insert(id, key);
         self.max_weights.insert(id, max_weight);
     }
 
@@ -98,10 +105,8 @@ impl ReplacementPolicy for Rap {
         // changes nothing.
     }
 
-    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId> {
-        let victim = self
-            .by_value.values().copied()
-            .find(|id| Some(*id) != pinned)?;
+    fn choose_victim(&mut self, exclude: &dyn Fn(PageId) -> bool) -> Option<PageId> {
+        let victim = self.by_value.values().copied().find(|id| !exclude(*id))?;
         let key = self.keys.remove(&victim).expect("resident page has a key");
         self.by_value.remove(&key);
         self.max_weights.remove(&victim);
@@ -125,11 +130,8 @@ impl ReplacementPolicy for Rap {
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
         self.query_weights = weights.clone();
         // Reorganize: re-key every resident page under the new weights.
-        let resident: Vec<(PageId, f64)> = self
-            .max_weights
-            .iter()
-            .map(|(id, w)| (*id, *w))
-            .collect();
+        let resident: Vec<(PageId, f64)> =
+            self.max_weights.iter().map(|(id, w)| (*id, *w)).collect();
         self.by_value.clear();
         self.keys.clear();
         for (id, w) in resident {
@@ -157,8 +159,8 @@ mod tests {
         p.on_insert(&head);
         p.on_insert(&tail);
         p.begin_query(&weights(&[(0, 1.0)]));
-        assert_eq!(p.choose_victim(None), Some(tail.id()));
-        assert_eq!(p.choose_victim(None), Some(head.id()));
+        assert_eq!(p.choose_victim(&|_| false), Some(tail.id()));
+        assert_eq!(p.choose_victim(&|_| false), Some(head.id()));
     }
 
     #[test]
@@ -170,7 +172,7 @@ mod tests {
         p.on_insert(&dropped_head);
         p.begin_query(&weights(&[(0, 0.5)]));
         assert_eq!(
-            p.choose_victim(None),
+            p.choose_victim(&|_| false),
             Some(dropped_head.id()),
             "pages of dropped terms must be evicted first regardless of data value"
         );
@@ -185,12 +187,12 @@ mod tests {
         p.on_insert(&head);
         p.on_insert(&tail);
         p.begin_query(&weights(&[(0, 1.0)]));
-        assert_eq!(p.choose_victim(None), Some(tail.id()));
+        assert_eq!(p.choose_victim(&|_| false), Some(tail.id()));
         // Also holds for the all-zero no-query state.
         let mut q = Rap::new();
         q.on_insert(&head);
         q.on_insert(&tail);
-        assert_eq!(q.choose_victim(None), Some(tail.id()));
+        assert_eq!(q.choose_victim(&|_| false), Some(tail.id()));
     }
 
     #[test]
@@ -207,7 +209,7 @@ mod tests {
         p.begin_query(&weights(&[(1, 10.0)]));
         assert_eq!(p.current_value(a.id()), Some(0.0));
         assert_eq!(p.current_value(b.id()), Some(30.0));
-        assert_eq!(p.choose_victim(None), Some(a.id()));
+        assert_eq!(p.choose_victim(&|_| false), Some(a.id()));
     }
 
     #[test]
@@ -221,7 +223,11 @@ mod tests {
         for _ in 0..5 {
             p.on_hit(&b);
         }
-        assert_eq!(p.choose_victim(None), Some(b.id()), "recency is irrelevant to RAP");
+        assert_eq!(
+            p.choose_victim(&|_| false),
+            Some(b.id()),
+            "recency is irrelevant to RAP"
+        );
     }
 
     #[test]
@@ -231,8 +237,30 @@ mod tests {
         let b = page(0, 1, 1, 1.0);
         p.on_insert(&a);
         p.on_insert(&b);
-        assert_eq!(p.choose_victim(Some(b.id())), Some(a.id()));
-        assert_eq!(p.choose_victim(Some(b.id())), None);
+        assert_eq!(p.choose_victim(&|p| p == b.id()), Some(a.id()));
+        assert_eq!(p.choose_victim(&|p| p == b.id()), None);
+    }
+
+    #[test]
+    fn double_insert_leaves_no_stale_queue_entry() {
+        let mut p = Rap::new();
+        p.begin_query(&weights(&[(0, 1.0)]));
+        // Same page re-inserted with a different max weight (e.g. the
+        // page image was rebuilt): the old key must leave the queue.
+        let v1 = page(0, 0, 2, 1.0); // w* = 2
+        let v2 = page(0, 0, 5, 1.0); // w* = 5
+        p.on_insert(&v1);
+        p.on_insert(&v2);
+        assert_eq!(p.current_value(v2.id()), Some(5.0));
+        // Exactly one victim comes out — a stale `by_value` entry would
+        // produce the same page twice.
+        assert_eq!(p.choose_victim(&|_| false), Some(v2.id()));
+        assert_eq!(p.choose_victim(&|_| false), None);
+        // Re-insert with an identical key is also single-tracked.
+        p.on_insert(&v1);
+        p.on_insert(&v1);
+        assert_eq!(p.choose_victim(&|_| false), Some(v1.id()));
+        assert_eq!(p.choose_victim(&|_| false), None);
     }
 
     #[test]
@@ -241,10 +269,10 @@ mod tests {
         let a = page(0, 0, 5, 1.0);
         p.on_insert(&a);
         p.remove(a.id());
-        assert_eq!(p.choose_victim(None), None);
+        assert_eq!(p.choose_victim(&|_| false), None);
         p.on_insert(&a);
         p.clear();
-        assert_eq!(p.choose_victim(None), None);
+        assert_eq!(p.choose_victim(&|_| false), None);
         assert!(p.query_weights.is_empty());
     }
 }

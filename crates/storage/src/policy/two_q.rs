@@ -76,13 +76,13 @@ impl ReplacementPolicy for TwoQ {
         // Hits in A1in are intentionally ignored (scan resistance).
     }
 
-    fn choose_victim(&mut self, pinned: Option<PageId>) -> Option<PageId> {
+    fn choose_victim(&mut self, exclude: &dyn Fn(PageId) -> bool) -> Option<PageId> {
         if self.a1in.len() > self.kin || self.am.len() == 0 {
             // Evict from probation, remembering the identity.
             let mut skipped = None;
             let victim = loop {
                 match self.a1in.pop_front() {
-                    Some(id) if Some(id) == pinned => skipped = Some(id),
+                    Some(id) if exclude(id) => skipped = Some(id),
                     other => break other,
                 }
             };
@@ -96,7 +96,7 @@ impl ReplacementPolicy for TwoQ {
             }
         }
         // Probation empty (or pinned): evict the protected LRU page.
-        self.am.pop_oldest(pinned)
+        self.am.pop_oldest(exclude)
     }
 
     fn remove(&mut self, id: PageId) {
@@ -130,7 +130,7 @@ mod tests {
         p.on_insert(&b);
         p.on_insert(&c);
         p.on_hit(&a); // no effect: still probation FIFO order
-        assert_eq!(p.choose_victim(None), Some(a.id()));
+        assert_eq!(p.choose_victim(&|_| false), Some(a.id()));
     }
 
     #[test]
@@ -142,13 +142,13 @@ mod tests {
         p.on_insert(&a);
         p.on_insert(&b);
         p.on_insert(&c);
-        assert_eq!(p.choose_victim(None), Some(a.id())); // a ghosted
+        assert_eq!(p.choose_victim(&|_| false), Some(a.id())); // a ghosted
         p.on_insert(&a); // re-fault: promoted to Am
-        // Probation (b, c) is over kin? len 2 == kin → not over, and Am
-        // nonempty, so victim comes from probation only if > kin. Am LRU
-        // is a... but b is older in probation. With len == kin the
-        // protected queue is victimized.
-        assert_eq!(p.choose_victim(None), Some(a.id()));
+                         // Probation (b, c) is over kin? len 2 == kin → not over, and Am
+                         // nonempty, so victim comes from probation only if > kin. Am LRU
+                         // is a... but b is older in probation. With len == kin the
+                         // protected queue is victimized.
+        assert_eq!(p.choose_victim(&|_| false), Some(a.id()));
     }
 
     #[test]
@@ -157,7 +157,7 @@ mod tests {
         for i in 0..5 {
             let pg = page(0, i, 1, 1.0);
             p.on_insert(&pg);
-            p.choose_victim(None);
+            p.choose_victim(&|_| false);
         }
         assert!(p.a1out.len() <= 2);
         assert_eq!(p.a1out.len(), p.a1out_set.len());
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn empty_policy_returns_none() {
         let mut p = TwoQ::new(4);
-        assert_eq!(p.choose_victim(None), None);
+        assert_eq!(p.choose_victim(&|_| false), None);
     }
 
     #[test]
@@ -176,7 +176,7 @@ mod tests {
         let b = page(0, 1, 1, 1.0);
         p.on_insert(&a);
         p.on_insert(&b);
-        assert_eq!(p.choose_victim(Some(a.id())), Some(b.id()));
+        assert_eq!(p.choose_victim(&|p| p == a.id()), Some(b.id()));
         assert!(p.a1in_set.contains(&a.id()));
     }
 }

@@ -1,0 +1,298 @@
+//! Thread-safe buffer sharing for multi-session workloads.
+//!
+//! The paper's §3.3 multi-user discussion assumes concurrent queries
+//! against one pool. This module provides the two building blocks the
+//! session server needs:
+//!
+//! * [`QueryBuffer`] — the capability the evaluation algorithms
+//!   actually require from a buffer (fetch, `b_t`, query announcement,
+//!   statistics), so they run unchanged against a private pool, a
+//!   mutex-shared pool, or one partition of a partitioned pool;
+//! * [`SharedBufferManager`] / [`SharedPartitionedBuffer`] — cloneable
+//!   handles wrapping a pool in a [`parking_lot::Mutex`] so N sessions
+//!   on N threads can drive it. Locking is per-call: a page fetch is a
+//!   critical section, a whole query is not, so sessions interleave at
+//!   page granularity exactly like the time-sliced multi-user runs the
+//!   paper envisions.
+
+use crate::buffer::BufferManager;
+use crate::disk::PageStore;
+use crate::page::Page;
+use crate::partition::{PartitionId, PartitionedBuffer};
+use crate::stats::BufferStats;
+use ir_types::{IrResult, PageId, TermId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What query evaluation needs from a buffer pool.
+///
+/// Implemented by [`BufferManager`] (private pool),
+/// [`SharedBufferManager`] (one pool, many sessions) and
+/// [`PartitionHandle`] (one partition of a [`PartitionedBuffer`]);
+/// the evaluation algorithms in `ir-core` are generic over it.
+pub trait QueryBuffer {
+    /// Fetches a page, counting a hit or a disk read.
+    fn fetch(&mut self, id: PageId) -> IrResult<Page>;
+
+    /// `b_t`: resident page count of `term`'s inverted list.
+    fn resident_pages(&self, term: TermId) -> u32;
+
+    /// Announces the term weights `w_{q,t}` of the query about to run.
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>);
+
+    /// Snapshot of the pool counters this buffer draws on. For a
+    /// shared pool the numbers aggregate every session's traffic.
+    fn stats(&self) -> BufferStats;
+}
+
+impl<S: PageStore> QueryBuffer for BufferManager<S> {
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        BufferManager::fetch(self, id)
+    }
+
+    fn resident_pages(&self, term: TermId) -> u32 {
+        BufferManager::resident_pages(self, term)
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        BufferManager::begin_query(self, weights);
+    }
+
+    fn stats(&self) -> BufferStats {
+        BufferManager::stats(self)
+    }
+}
+
+/// A [`BufferManager`] behind an `Arc<Mutex<_>>`: clone one handle per
+/// session and fetch from any thread.
+#[derive(Debug)]
+pub struct SharedBufferManager<S: PageStore> {
+    inner: Arc<Mutex<BufferManager<S>>>,
+}
+
+impl<S: PageStore> Clone for SharedBufferManager<S> {
+    fn clone(&self) -> Self {
+        SharedBufferManager {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: PageStore> SharedBufferManager<S> {
+    /// Wraps an existing pool for sharing.
+    pub fn new(pool: BufferManager<S>) -> Self {
+        SharedBufferManager {
+            inner: Arc::new(Mutex::new(pool)),
+        }
+    }
+
+    /// Runs `f` with the pool locked — for operations the
+    /// [`QueryBuffer`] surface does not cover (pinning, flushing,
+    /// observers, store access).
+    pub fn with<R>(&self, f: impl FnOnce(&mut BufferManager<S>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Number of frames in use.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity()
+    }
+
+    /// Empties the pool (statistics survive).
+    pub fn flush(&self) {
+        self.inner.lock().flush();
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().reset_stats();
+    }
+}
+
+impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        self.inner.lock().fetch(id)
+    }
+
+    fn resident_pages(&self, term: TermId) -> u32 {
+        self.inner.lock().resident_pages(term)
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        self.inner.lock().begin_query(weights);
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.inner.lock().stats()
+    }
+}
+
+/// A [`PartitionedBuffer`] behind an `Arc<Mutex<_>>`; sessions address
+/// their partition through a [`PartitionHandle`].
+#[derive(Debug)]
+pub struct SharedPartitionedBuffer<S: PageStore> {
+    inner: Arc<Mutex<PartitionedBuffer<S>>>,
+}
+
+impl<S: PageStore> Clone for SharedPartitionedBuffer<S> {
+    fn clone(&self) -> Self {
+        SharedPartitionedBuffer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: PageStore> SharedPartitionedBuffer<S> {
+    /// Wraps an existing partitioned pool for sharing.
+    pub fn new(pool: PartitionedBuffer<S>) -> Self {
+        SharedPartitionedBuffer {
+            inner: Arc::new(Mutex::new(pool)),
+        }
+    }
+
+    /// A [`QueryBuffer`] view of partition `pid`; sibling borrowing
+    /// stays active across partitions.
+    pub fn handle(&self, pid: PartitionId) -> PartitionHandle<S> {
+        PartitionHandle {
+            pool: Arc::clone(&self.inner),
+            pid,
+        }
+    }
+
+    /// Runs `f` with the whole partitioned pool locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut PartitionedBuffer<S>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Disk reads avoided by cross-partition borrowing so far.
+    pub fn sibling_hits(&self) -> u64 {
+        self.inner.lock().sibling_hits()
+    }
+
+    /// Aggregate statistics over all partitions.
+    pub fn total_stats(&self) -> BufferStats {
+        self.inner.lock().total_stats()
+    }
+}
+
+/// One partition of a [`SharedPartitionedBuffer`], usable wherever a
+/// [`QueryBuffer`] is expected.
+#[derive(Debug)]
+pub struct PartitionHandle<S: PageStore> {
+    pool: Arc<Mutex<PartitionedBuffer<S>>>,
+    pid: PartitionId,
+}
+
+impl<S: PageStore> Clone for PartitionHandle<S> {
+    fn clone(&self) -> Self {
+        PartitionHandle {
+            pool: Arc::clone(&self.pool),
+            pid: self.pid,
+        }
+    }
+}
+
+impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        self.pool.lock().fetch(self.pid, id)
+    }
+
+    fn resident_pages(&self, term: TermId) -> u32 {
+        self.pool.lock().resident_pages(self.pid, term)
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        self.pool.lock().begin_query(self.pid, weights);
+    }
+
+    fn stats(&self) -> BufferStats {
+        self.pool.lock().stats(self.pid).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSim;
+    use crate::policy::PolicyKind;
+    use ir_types::Posting;
+
+    fn store(n_terms: u32, pages: u32) -> DiskSim {
+        let lists = (0..n_terms)
+            .map(|t| {
+                (0..pages)
+                    .map(|p| {
+                        let postings: Vec<Posting> = vec![Posting::new(p, pages - p)];
+                        Page::new(PageId::new(TermId(t), p), postings.into(), 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        DiskSim::new(lists)
+    }
+
+    fn pid(t: u32, p: u32) -> PageId {
+        PageId::new(TermId(t), p)
+    }
+
+    #[test]
+    fn shared_pool_serves_clones() {
+        let bm = BufferManager::new(store(1, 4), 4, PolicyKind::Lru).unwrap();
+        let mut a = SharedBufferManager::new(bm);
+        let mut b = a.clone();
+        a.fetch(pid(0, 0)).unwrap();
+        b.fetch(pid(0, 0)).unwrap(); // hit via the other handle
+        let s = a.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.resident_pages(TermId(0)), 1);
+    }
+
+    #[test]
+    fn shared_pool_is_actually_threadable() {
+        let bm = BufferManager::new(store(2, 8), 6, PolicyKind::Lru).unwrap();
+        let pool = SharedBufferManager::new(bm);
+        crossbeam::thread::scope(|scope| {
+            for t in 0..2u32 {
+                let mut handle = pool.clone();
+                scope.spawn(move |_| {
+                    for p in 0..8 {
+                        handle.fetch(pid(t, p)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = pool.stats();
+        assert_eq!(s.requests, 16);
+        assert_eq!(s.hits + s.misses, 16);
+        assert!(pool.len() <= 6);
+    }
+
+    #[test]
+    fn partition_handles_route_to_their_partition() {
+        let pb = PartitionedBuffer::new(Arc::new(store(1, 4)), 2, 2, PolicyKind::Lru).unwrap();
+        let shared = SharedPartitionedBuffer::new(pb);
+        let mut h0 = shared.handle(0);
+        let mut h1 = shared.handle(1);
+        h0.fetch(pid(0, 0)).unwrap();
+        h1.fetch(pid(0, 0)).unwrap(); // sibling borrow, no disk read
+        assert_eq!(shared.sibling_hits(), 1);
+        assert_eq!(h0.stats().misses, 1);
+        assert_eq!(h1.stats().misses, 0);
+        assert_eq!(h1.stats().hits, 1);
+        assert_eq!(h0.resident_pages(TermId(0)), 1);
+        assert_eq!(h1.resident_pages(TermId(0)), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cross-policy property tests for the pinning contract: a pinned
+//! frame must never be chosen as a replacement victim, under any
+//! policy and any workload. Exercised at two levels — the raw
+//! [`ReplacementPolicy::choose_victim`] exclusion predicate, and the
+//! full [`BufferManager`] with per-frame pin counts.
+
+use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
+use ir_types::{PageId, Posting, TermId};
+use proptest::{collection, proptest, ProptestConfig};
+use std::collections::HashSet;
+
+const N_TERMS: u32 = 4;
+const PAGES_PER_TERM: u32 = 8;
+
+fn store() -> DiskSim {
+    let lists = (0..N_TERMS)
+        .map(|t| {
+            (0..PAGES_PER_TERM)
+                .map(|p| {
+                    let postings: Vec<Posting> = vec![Posting::new(p, PAGES_PER_TERM - p)];
+                    Page::new(PageId::new(TermId(t), p), postings.into(), f64::from(t + 1))
+                })
+                .collect()
+        })
+        .collect();
+    DiskSim::new(lists)
+}
+
+fn page(t: u32, p: u32) -> Page {
+    let postings: Vec<Posting> = vec![Posting::new(p, PAGES_PER_TERM - p)];
+    Page::new(PageId::new(TermId(t), p), postings.into(), f64::from(t + 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Raw policy level: whatever subset of the resident pages is
+    /// excluded, `choose_victim` never returns a member of it.
+    #[test]
+    fn choose_victim_never_returns_an_excluded_page(
+        n_pages in 2usize..12,
+        excluded_mask in proptest::any::<u16>(),
+        hit_mask in proptest::any::<u16>(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut policy = kind.build(n_pages);
+            let pages: Vec<Page> = (0..n_pages as u32)
+                .map(|i| page(i % N_TERMS, i / N_TERMS))
+                .collect();
+            for p in &pages {
+                policy.on_insert(p);
+            }
+            // Re-reference an arbitrary subset so recency/frequency
+            // state differs from insertion order.
+            for (i, p) in pages.iter().enumerate() {
+                if hit_mask & (1 << (i as u16 % 16)) != 0 {
+                    policy.on_hit(p);
+                }
+            }
+            let excluded: HashSet<PageId> = pages
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| excluded_mask & (1 << (*i as u16 % 16)) != 0)
+                .map(|(_, p)| p.id())
+                .collect();
+            let victim = policy.choose_victim(&|id| excluded.contains(&id));
+            if excluded.len() < pages.len() {
+                let v = victim.unwrap_or_else(|| {
+                    panic!("{kind}: evictable pages exist but no victim chosen")
+                });
+                assert!(
+                    !excluded.contains(&v),
+                    "{kind}: victim {v:?} was excluded"
+                );
+            } else {
+                assert!(
+                    victim.is_none(),
+                    "{kind}: every page excluded, yet got a victim"
+                );
+            }
+        }
+    }
+
+    /// Full pool level: under a random fetch/pin workload, pinned
+    /// pages stay resident through arbitrary eviction pressure, and
+    /// occupancy never exceeds capacity.
+    #[test]
+    fn pinned_pages_survive_any_workload(
+        capacity in 2usize..6,
+        ops in collection::vec(
+            (0u32..N_TERMS, 0u32..PAGES_PER_TERM, proptest::any::<bool>()),
+            1..80,
+        ),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut bm = BufferManager::new(store(), capacity, kind).unwrap();
+            let mut pinned: Vec<PageId> = Vec::new();
+            for (t, p, want_pin) in &ops {
+                let id = PageId::new(TermId(*t), *p);
+                bm.fetch(id).unwrap_or_else(|e| {
+                    panic!("{kind}: fetch with a spare unpinned frame failed: {e}")
+                });
+                // Keep one frame evictable so fetches always succeed.
+                if *want_pin && !pinned.contains(&id) && pinned.len() + 1 < capacity {
+                    bm.pin(id);
+                    pinned.push(id);
+                }
+                assert!(bm.len() <= capacity, "{kind}: pool over capacity");
+                for pin in &pinned {
+                    assert!(
+                        bm.is_resident(*pin),
+                        "{kind}: pinned page {pin:?} was evicted"
+                    );
+                    assert!(bm.pin_count(*pin) > 0, "{kind}: pin count lost");
+                }
+            }
+            // Unpinning re-enables eviction: flood the pool and check
+            // the previously pinned pages can now be displaced.
+            for pin in pinned.drain(..) {
+                bm.unpin(pin);
+            }
+            for p in 0..PAGES_PER_TERM {
+                for t in 0..N_TERMS {
+                    bm.fetch(PageId::new(TermId(t), p)).unwrap();
+                }
+            }
+            assert!(bm.len() <= capacity, "{kind}: pool over capacity after unpin flood");
+        }
+    }
+}

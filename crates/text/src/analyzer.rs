@@ -55,7 +55,10 @@ impl Analyzer {
     /// stemming. The stop list is a parameter because the paper derives
     /// it from collection statistics (top-100 by `f_t`).
     pub fn paper(stop_list: StopList) -> Self {
-        AnalyzerBuilder::new().stop_list(stop_list).stemming(true).build()
+        AnalyzerBuilder::new()
+            .stop_list(stop_list)
+            .stemming(true)
+            .build()
     }
 
     /// A pipeline with the standard English stop list and stemming —

@@ -326,10 +326,7 @@ impl Stemmer {
             b'i' => self.ends(b"ic"),
             b'l' => self.ends(b"able") || self.ends(b"ible"),
             b'n' => {
-                self.ends(b"ant")
-                    || self.ends(b"ement")
-                    || self.ends(b"ment")
-                    || self.ends(b"ent")
+                self.ends(b"ant") || self.ends(b"ement") || self.ends(b"ment") || self.ends(b"ent")
             }
             b'o' => {
                 (self.ends(b"ion")
@@ -533,7 +530,9 @@ mod tests {
     fn never_panics_and_never_empties() {
         // Smoke test over suffix-heavy letter combinations that exercise
         // the whole-word-match and underflow edges.
-        let parts = ["e", "y", "s", "ed", "ing", "sses", "ies", "eed", "ion", "ly"];
+        let parts = [
+            "e", "y", "s", "ed", "ing", "sses", "ies", "eed", "ion", "ly",
+        ];
         for a in parts {
             for b in parts {
                 for c in parts {

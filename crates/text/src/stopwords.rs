@@ -24,10 +24,10 @@ const STANDARD: &[&str] = &[
     "further", "had", "has", "have", "having", "he", "her", "here", "hers", "him", "his", "how",
     "i", "if", "in", "into", "is", "it", "its", "just", "me", "more", "most", "my", "no", "nor",
     "not", "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "out", "over",
-    "own", "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the",
-    "their", "theirs", "them", "then", "there", "these", "they", "this", "those", "through",
-    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
-    "which", "while", "who", "whom", "why", "will", "with", "you", "your", "yours",
+    "own", "s", "same", "she", "should", "so", "some", "such", "t", "than", "that", "the", "their",
+    "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to", "too",
+    "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "you", "your", "yours",
 ];
 
 impl StopList {
@@ -66,7 +66,11 @@ impl StopList {
         let mut ranked: Vec<(&str, u32)> = doc_freqs.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         StopList {
-            words: ranked.into_iter().take(k).map(|(w, _)| w.to_string()).collect(),
+            words: ranked
+                .into_iter()
+                .take(k)
+                .map(|(w, _)| w.to_string())
+                .collect(),
         }
     }
 

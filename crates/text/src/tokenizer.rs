@@ -30,9 +30,7 @@ impl<'a> Iterator for Tokenizer<'a> {
     fn next(&mut self) -> Option<String> {
         loop {
             // Skip separators (anything that is not alphanumeric).
-            let start = self
-                .rest
-                .find(|c: char| c.is_ascii_alphanumeric())?;
+            let start = self.rest.find(|c: char| c.is_ascii_alphanumeric())?;
             let rest = &self.rest[start..];
             let end = rest
                 .find(|c: char| !c.is_ascii_alphanumeric())
@@ -65,13 +63,23 @@ mod tests {
     fn splits_on_punctuation_and_whitespace() {
         assert_eq!(
             tokenize("drastic price-increases, in American   stockmarkets."),
-            ["drastic", "price", "increases", "in", "american", "stockmarkets"]
+            [
+                "drastic",
+                "price",
+                "increases",
+                "in",
+                "american",
+                "stockmarkets"
+            ]
         );
     }
 
     #[test]
     fn drops_tokens_with_digits() {
-        assert_eq!(tokenize("the 4GB x86 index of 1987"), ["the", "index", "of"]);
+        assert_eq!(
+            tokenize("the 4GB x86 index of 1987"),
+            ["the", "index", "of"]
+        );
     }
 
     #[test]

@@ -68,9 +68,18 @@ impl FilterParams {
     /// `c_ins < c_add` (which would invert the threshold relationship
     /// `f_ins ≥ f_add` the algorithm relies on).
     pub fn new(c_ins: f64, c_add: f64) -> Self {
-        assert!(c_ins.is_finite() && c_ins >= 0.0, "c_ins must be finite and >= 0");
-        assert!(c_add.is_finite() && c_add >= 0.0, "c_add must be finite and >= 0");
-        assert!(c_ins >= c_add, "c_ins must be >= c_add so that f_ins >= f_add");
+        assert!(
+            c_ins.is_finite() && c_ins >= 0.0,
+            "c_ins must be finite and >= 0"
+        );
+        assert!(
+            c_add.is_finite() && c_add >= 0.0,
+            "c_add must be finite and >= 0"
+        );
+        assert!(
+            c_ins >= c_add,
+            "c_ins must be >= c_add so that f_ins >= f_add"
+        );
         FilterParams { c_ins, c_add }
     }
 
@@ -209,9 +218,15 @@ mod tests {
     fn thresholds_scale_with_smax_and_idf() {
         let p = FilterParams::PERSIN;
         let base = p.f_add(100.0, 1, 2.0);
-        assert!(p.f_add(200.0, 1, 2.0) > base, "higher S_max, higher threshold");
+        assert!(
+            p.f_add(200.0, 1, 2.0) > base,
+            "higher S_max, higher threshold"
+        );
         assert!(p.f_add(100.0, 1, 4.0) < base, "higher idf, lower threshold");
-        assert!(p.f_add(100.0, 2, 2.0) < base, "higher query freq, lower threshold");
+        assert!(
+            p.f_add(100.0, 2, 2.0) < base,
+            "higher query freq, lower threshold"
+        );
     }
 
     #[test]

@@ -62,10 +62,18 @@ mod tests {
     fn frequency_order_is_freq_desc_doc_asc() {
         let hi = Posting::new(9, 5);
         let lo = Posting::new(1, 2);
-        assert_eq!(frequency_order(&hi, &lo), Ordering::Less, "higher freq first");
+        assert_eq!(
+            frequency_order(&hi, &lo),
+            Ordering::Less,
+            "higher freq first"
+        );
         let a = Posting::new(1, 3);
         let b = Posting::new(2, 3);
-        assert_eq!(frequency_order(&a, &b), Ordering::Less, "doc asc within equal freq");
+        assert_eq!(
+            frequency_order(&a, &b),
+            Ordering::Less,
+            "doc asc within equal freq"
+        );
         assert_eq!(frequency_order(&a, &a), Ordering::Equal);
     }
 

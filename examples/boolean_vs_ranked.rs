@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let corpus = Corpus::generate(CorpusConfig::small());
     let index = index_corpus(&corpus, false)?;
     let queries = corpus.queries();
-    let topic = queries.iter().find(|q| q.len() >= 30).expect("a long topic");
+    let topic = queries
+        .iter()
+        .find(|q| q.len() >= 30)
+        .expect("a long topic");
 
     // Natural-language (ranked) evaluation with DF.
     let ranked_query = Query::from_named(&index, &topic.terms);
@@ -51,7 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bbuffer = index.make_buffer(pool, PolicyKind::Lru)?;
     let boolean = boolean_query.evaluate(&index, &mut bbuffer)?;
 
-    println!("topic {} ({} terms, {} total list pages)\n", topic.topic, topic.len(), ranked_query.total_pages());
+    println!(
+        "topic {} ({} terms, {} total list pages)\n",
+        topic.topic,
+        topic.len(),
+        ranked_query.total_pages()
+    );
     println!(
         "ranked (DF):  top-20 of {} candidates, {:>6} disk reads ({:.0} % of the lists)",
         ranked.stats.final_accumulators,

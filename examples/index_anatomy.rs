@@ -13,16 +13,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let index = index_corpus(&corpus, true)?;
     let n = index.n_docs();
 
-    println!("collection: {} docs, {} terms, {} postings, {} pages (PageSize {})",
-        n, index.n_terms(), index.total_postings(), index.total_pages(),
-        index.params().page_size);
+    println!(
+        "collection: {} docs, {} terms, {} postings, {} pages (PageSize {})",
+        n,
+        index.n_terms(),
+        index.total_postings(),
+        index.total_pages(),
+        index.params().page_size
+    );
 
     // Table 4-style census. The paper's bands for N = 173,252:
     // low 1.91–3.10, medium 3.10–5.42, high 5.42–8.74, very-high 8.74–17.40.
     let max_idf = f64::from(n).log2();
     let bounds = [1.91, 3.10, 5.42, 8.74, max_idf + 0.01];
     println!("\ninverted-list census (Table 4 analogue):");
-    println!("{:>22} {:>12} {:>12} {:>8}", "idf range", "pages", "terms", "");
+    println!(
+        "{:>22} {:>12} {:>12} {:>8}",
+        "idf range", "pages", "terms", ""
+    );
     for band in index.lexicon().idf_bands(&bounds) {
         println!(
             "{:>10.2} – {:<9.2} {:>5} – {:<6} {:>8}",

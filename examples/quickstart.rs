@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let refined =
         engine.search_text("drastic price increases in American stockmarkets investment")?;
     for (rank, hit) in refined.hits.iter().take(3).enumerate() {
-        println!("  {:>2}. doc {:>2}  score {:.3}", rank + 1, hit.doc.0, hit.score);
+        println!(
+            "  {:>2}. doc {:>2}  score {:.3}",
+            rank + 1,
+            hit.doc.0,
+            hit.score
+        );
     }
     println!(
         "  [{} disk reads — the retained terms were buffer-resident]",

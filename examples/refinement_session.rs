@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Build an ADD-ONLY refinement sequence from the first topic whose
     // query has at least 30 terms (§5.1.2's construction).
     let queries = corpus.queries();
-    let topic_query = queries.iter().find(|q| q.len() >= 30).expect("a long topic");
+    let topic_query = queries
+        .iter()
+        .find(|q| q.len() >= 30)
+        .expect("a long topic");
     let query = Query::from_named(&index, &topic_query.terms);
     let ranked = contribution_ranking(&index, &query, 20)?;
     let sequence = make_sequence(&ranked, RefinementKind::AddOnly, 3, topic_query.topic);

@@ -79,7 +79,10 @@ fn generate(args: &[String]) -> CliResult {
     if let Some(seed) = flag_value(args, "--seed") {
         cfg.seed = seed.parse()?;
     }
-    eprintln!("generating collection at scale {scale} (seed {}) ...", cfg.seed);
+    eprintln!(
+        "generating collection at scale {scale} (seed {}) ...",
+        cfg.seed
+    );
     let t = std::time::Instant::now();
     let corpus = buffir::corpus::Corpus::generate(cfg);
     let index = buffir::engine::index_corpus(&corpus, false)?;
@@ -198,7 +201,10 @@ fn repl(file: Option<String>, raw: bool) -> CliResult {
             SearchEngine::new(index, EngineConfig::default())?
         }
         None => {
-            eprintln!("(demo collection: {} documents about markets)", DEMO_DOCS.len());
+            eprintln!(
+                "(demo collection: {} documents about markets)",
+                DEMO_DOCS.len()
+            );
             SearchEngine::from_texts(DEMO_DOCS, EngineConfig::default())?
         }
     };
@@ -280,8 +286,10 @@ fn repl(file: Option<String>, raw: bool) -> CliResult {
             continue;
         }
         let result = if raw {
-            let terms: Vec<(String, u32)> =
-                line.split_whitespace().map(|t| (t.to_string(), 1)).collect();
+            let terms: Vec<(String, u32)> = line
+                .split_whitespace()
+                .map(|t| (t.to_string(), 1))
+                .collect();
             engine.search_terms(&terms)
         } else {
             engine.search_text(line)

@@ -14,7 +14,12 @@ mod common;
 /// Brute-force cosine over the raw corpus bags: for every document,
 /// score = Σ_t w_{d,t}·w_{q,t} / W_d, computed without the inverted
 /// index. The full (filters-off) evaluator must agree exactly.
-fn brute_force_top(corpus: &Corpus, index: &buffir::index::InvertedIndex, query_terms: &[(String, u32)], n: usize) -> Vec<Hit> {
+fn brute_force_top(
+    corpus: &Corpus,
+    index: &buffir::index::InvertedIndex,
+    query_terms: &[(String, u32)],
+    n: usize,
+) -> Vec<Hit> {
     // Map query names to ranks.
     let terms: Vec<(u32, u32, f64)> = query_terms
         .iter()
@@ -71,7 +76,12 @@ fn full_evaluation_agrees_with_brute_force() {
         )
         .unwrap();
         let expected = brute_force_top(&corpus, &index, &q.terms, 20);
-        assert_eq!(result.hits.len(), expected.len().min(20), "topic {}", q.topic);
+        assert_eq!(
+            result.hits.len(),
+            expected.len().min(20),
+            "topic {}",
+            q.topic
+        );
         for (got, want) in result.hits.iter().zip(&expected) {
             assert_eq!(got.doc, want.doc, "topic {}", q.topic);
             assert!(
@@ -185,7 +195,9 @@ fn effectiveness_reference_is_sane() {
         )
         .unwrap();
         let rel = buffir::core::effectiveness::relevance_set(corpus.relevant_docs(q.topic));
-        aps.push(buffir::core::effectiveness::average_precision(&r.hits, &rel));
+        aps.push(buffir::core::effectiveness::average_precision(
+            &r.hits, &rel,
+        ));
     }
     let mean = aps.iter().sum::<f64>() / aps.len() as f64;
     assert!(

@@ -50,12 +50,7 @@ fn table4_geometry_holds_at_paper_scale() {
 
     // Posting-frequency skew: the vast majority of entries are f = 1.
     let total: u64 = c.docs.iter().map(|d| d.len() as u64).sum();
-    let f1: u64 = c
-        .docs
-        .iter()
-        .flatten()
-        .filter(|&&(_, f)| f == 1)
-        .count() as u64;
+    let f1: u64 = c.docs.iter().flatten().filter(|&&(_, f)| f == 1).count() as u64;
     assert!(
         f1 as f64 / total as f64 > 0.90,
         "f=1 fraction {}",

@@ -9,15 +9,14 @@ use buffir::index::{BuildOptions, IndexBuilder, InvertedIndex};
 use buffir::storage::{BufferEvent, BufferObserver};
 use buffir::{Algorithm, FilterParams, PolicyKind};
 use ir_types::IndexParams;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Clone, Default)]
-struct SharedLog(Rc<RefCell<Vec<BufferEvent>>>);
+struct SharedLog(Arc<Mutex<Vec<BufferEvent>>>);
 
 impl BufferObserver for SharedLog {
     fn event(&mut self, event: BufferEvent) {
-        self.0.borrow_mut().push(event);
+        self.0.lock().unwrap().push(event);
     }
 }
 
@@ -69,7 +68,7 @@ fn rap_evicts_dropped_term_pages_first_end_to_end() {
     let q2 = Query::from_ids(&idx, &[(kept, 1), (fresh, 1)]).unwrap();
     evaluate(Algorithm::Df, &idx, &mut buffer, &q2, opts).unwrap();
 
-    let events = log.0.borrow();
+    let events = log.0.lock().unwrap();
     let evictions: Vec<_> = events
         .iter()
         .filter_map(|e| match e {
@@ -77,11 +76,17 @@ fn rap_evicts_dropped_term_pages_first_end_to_end() {
             _ => None,
         })
         .collect();
-    assert!(!evictions.is_empty(), "loading the fresh term must evict something");
+    assert!(
+        !evictions.is_empty(),
+        "loading the fresh term must evict something"
+    );
     // §3.3: every eviction must hit the dropped term (value 0), never
     // the kept one, and tail pages must go before head pages.
     for id in &evictions {
-        assert_eq!(id.term, dropped, "RAP evicted {id} instead of a dropped-term page");
+        assert_eq!(
+            id.term, dropped,
+            "RAP evicted {id} instead of a dropped-term page"
+        );
     }
     for w in evictions.windows(2) {
         assert!(
@@ -99,7 +104,11 @@ fn event_stream_is_consistent_with_counters() {
     buffer.set_observer(Box::new(log.clone()));
     let q = Query::from_named(
         &idx,
-        &[("kept".into(), 1), ("dropped".into(), 1), ("fresh".into(), 1)],
+        &[
+            ("kept".into(), 1),
+            ("dropped".into(), 1),
+            ("fresh".into(), 1),
+        ],
     );
     let opts = EvalOptions {
         params: FilterParams::OFF,
@@ -109,10 +118,19 @@ fn event_stream_is_consistent_with_counters() {
     evaluate(Algorithm::Baf, &idx, &mut buffer, &q, opts).unwrap();
     buffer.flush();
 
-    let events = log.0.borrow();
-    let loads = events.iter().filter(|e| matches!(e, BufferEvent::Load(_))).count() as u64;
-    let hits = events.iter().filter(|e| matches!(e, BufferEvent::Hit(_))).count() as u64;
-    let evicts = events.iter().filter(|e| matches!(e, BufferEvent::Evict(_))).count() as u64;
+    let events = log.0.lock().unwrap();
+    let loads = events
+        .iter()
+        .filter(|e| matches!(e, BufferEvent::Load(_)))
+        .count() as u64;
+    let hits = events
+        .iter()
+        .filter(|e| matches!(e, BufferEvent::Hit(_)))
+        .count() as u64;
+    let evicts = events
+        .iter()
+        .filter(|e| matches!(e, BufferEvent::Evict(_)))
+        .count() as u64;
     let s = buffer.stats();
     assert_eq!(loads, s.misses);
     assert_eq!(hits, s.hits);

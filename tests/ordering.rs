@@ -75,8 +75,14 @@ fn statistics_are_ordering_invariant() {
         assert!((e.idf - d.idf).abs() < 1e-15);
     }
     for docid in 0..freq.n_docs() {
-        let a = freq.doc_stats().vector_length(ir_types::DocId(docid)).unwrap();
-        let b = doc.doc_stats().vector_length(ir_types::DocId(docid)).unwrap();
+        let a = freq
+            .doc_stats()
+            .vector_length(ir_types::DocId(docid))
+            .unwrap();
+        let b = doc
+            .doc_stats()
+            .vector_length(ir_types::DocId(docid))
+            .unwrap();
         assert!((a - b).abs() < 1e-9, "W_d differs for doc {docid}");
     }
 }
@@ -94,11 +100,22 @@ fn doc_ordered_df_cannot_terminate_early() {
             let query = Query::from_named(index, &q.terms);
             let pool = (query.total_pages() as usize).max(1);
             let mut buffer = index.make_buffer(pool, PolicyKind::Lru).unwrap();
-            evaluate(Algorithm::Df, index, &mut buffer, &query, EvalOptions::default()).unwrap()
+            evaluate(
+                Algorithm::Df,
+                index,
+                &mut buffer,
+                &query,
+                EvalOptions::default(),
+            )
+            .unwrap()
         };
         let a = run(&freq);
         let b = run(&doc);
-        assert!(a.stats.disk_reads <= b.stats.disk_reads, "topic {}", q.topic);
+        assert!(
+            a.stats.disk_reads <= b.stats.disk_reads,
+            "topic {}",
+            q.topic
+        );
         // Every doc-ordered term is either skipped outright or read
         // fully.
         for row in &b.trace {
@@ -127,8 +144,14 @@ fn doc_ordered_index_round_trips_through_persistence() {
     use buffir::storage::PageStore;
     for (term, e) in doc.lexicon().iter() {
         for p in 0..e.n_pages {
-            let a = doc.disk().read_page(ir_types::PageId::new(term, p)).unwrap();
-            let b = loaded.disk().read_page(ir_types::PageId::new(term, p)).unwrap();
+            let a = doc
+                .disk()
+                .read_page(ir_types::PageId::new(term, p))
+                .unwrap();
+            let b = loaded
+                .disk()
+                .read_page(ir_types::PageId::new(term, p))
+                .unwrap();
             assert_eq!(a.postings(), b.postings());
         }
     }

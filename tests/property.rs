@@ -11,10 +11,7 @@ use proptest::prelude::*;
 /// frequency-sorted.
 fn inverted_list(max_len: usize) -> impl Strategy<Value = Vec<Posting>> {
     prop::collection::btree_map(0u32..50_000, 1u32..60, 0..max_len).prop_map(|m| {
-        let mut v: Vec<Posting> = m
-            .into_iter()
-            .map(|(d, f)| Posting::new(d, f))
-            .collect();
+        let mut v: Vec<Posting> = m.into_iter().map(|(d, f)| Posting::new(d, f)).collect();
         v.sort_by(frequency_order);
         v
     })

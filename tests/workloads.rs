@@ -47,7 +47,11 @@ fn add_only_steps_are_prefix_chains() {
 #[test]
 fn add_drop_removes_exactly_the_weakest_of_previous_group() {
     let (corpus, index) = common::tiny_indexed();
-    let q = corpus.queries().into_iter().max_by_key(|q| q.len()).unwrap();
+    let q = corpus
+        .queries()
+        .into_iter()
+        .max_by_key(|q| q.len())
+        .unwrap();
     let query = Query::from_named(&index, &q.terms);
     let ranked = contribution_ranking(&index, &query, 20).unwrap();
     let seq = make_sequence(&ranked, RefinementKind::AddDrop, 3, q.topic);

@@ -193,8 +193,8 @@ impl Strategy for &str {
     type Value = String;
 
     fn generate(&self, rng: &mut TestRng) -> String {
-        let atoms = parse_pattern(self)
-            .unwrap_or_else(|| panic!("unsupported string pattern `{self}`"));
+        let atoms =
+            parse_pattern(self).unwrap_or_else(|| panic!("unsupported string pattern `{self}`"));
         let mut out = String::new();
         for (chars, lo, hi) in &atoms {
             let n = if lo == hi {
@@ -493,7 +493,7 @@ mod tests {
         fn macro_smoke(x in 0u32..100, y in 0.0f64..1.0) {
             prop_assert!(x < 100);
             prop_assert!((0.0..1.0).contains(&y), "y = {}", y);
-            prop_assert_eq!(x + 0, x);
+            prop_assert_eq!(x.wrapping_add(0), x);
         }
     }
 }

@@ -166,7 +166,11 @@ mod tests {
             assert!((0.0..1.0).contains(&x));
             sum += x;
         }
-        assert!((0.4..0.6).contains(&(sum / 1000.0)), "mean {}", sum / 1000.0);
+        assert!(
+            (0.4..0.6).contains(&(sum / 1000.0)),
+            "mean {}",
+            sum / 1000.0
+        );
     }
 
     #[test]

@@ -274,7 +274,10 @@ mod tests {
         assert_eq!(Vec::<(u32, f64)>::from_value(&v.to_value()).unwrap(), v);
         let none: Option<u32> = None;
         assert_eq!(Option::<u32>::from_value(&none.to_value()).unwrap(), none);
-        assert_eq!(Option::<u32>::from_value(&Some(7u32).to_value()).unwrap(), Some(7));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(7u32).to_value()).unwrap(),
+            Some(7)
+        );
     }
 
     #[test]

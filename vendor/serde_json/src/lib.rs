@@ -155,7 +155,10 @@ impl<'a> Parser<'a> {
             self.pos += word.len();
             Ok(())
         } else {
-            Err(Error::new(format!("expected `{word}` at byte {}", self.pos)))
+            Err(Error::new(format!(
+                "expected `{word}` at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -315,7 +318,10 @@ mod tests {
             p.parse_value().unwrap()
         };
         assert_eq!(back, v);
-        assert!(text.contains("\"a\":5"), "integers print without .0: {text}");
+        assert!(
+            text.contains("\"a\":5"),
+            "integers print without .0: {text}"
+        );
     }
 
     #[test]
