@@ -1,0 +1,138 @@
+//! The benchmark-regression gate binary.
+//!
+//! ```sh
+//! # Run the kernels and write a schema-versioned report:
+//! cargo run --release -p ir-bench --bin bench -- report --scale 0.0625 --out BENCH_report.json
+//!
+//! # Gate a report against a checked-in baseline (exit 1 on regression):
+//! cargo run --release -p ir-bench --bin bench -- compare results/bench_baseline.json BENCH_report.json
+//! ```
+//!
+//! Disk-read counts are deterministic and compared exactly; wall times
+//! get a ±15 % tolerance by default (`--tolerance 0.15`).
+
+use ir_bench::report::{collect, compare, from_json, to_json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
+       bench compare BASELINE CURRENT [--tolerance FRACTION]";
+
+fn run_report(args: &[String]) -> Result<(), String> {
+    let mut scale = 1.0 / 16.0;
+    let mut out = "BENCH_report.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or("--scale needs a number in (0, 1]")?;
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).ok_or("--out needs a file path")?.clone();
+            }
+            other => return Err(format!("unknown report flag {other:?}")),
+        }
+        i += 1;
+    }
+    println!("running benchmark kernels at scale {scale} ...");
+    let report = collect(scale).map_err(|e| e.to_string())?;
+    println!(
+        "fig3: {} topics, full {} reads, DF {} reads (mean savings {:.1} %)",
+        report.fig3.topics,
+        report.fig3.full_reads,
+        report.fig3.df_reads,
+        report.fig3.mean_savings_pct
+    );
+    println!("fig5-8: {} sweep cells", report.figures.len());
+    println!(
+        "DF eval latency over {} queries: p50 {} µs, p99 {} µs, {:.0} queries/s",
+        report.latency.queries,
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.throughput_qps
+    );
+    for m in &report.micro {
+        println!(
+            "  {}: {} ops in {} µs ({:.0} ops/s)",
+            m.name, m.ops, m.total_us, m.ops_per_sec
+        );
+    }
+    std::fs::write(&out, to_json(&report) + "\n").map_err(|e| format!("writing {out}: {e}"))?;
+    println!("report written to {out}");
+    Ok(())
+}
+
+fn run_compare(args: &[String]) -> Result<(), String> {
+    let mut tolerance = 0.15;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v >= 0.0)
+                    .ok_or("--tolerance needs a non-negative fraction")?;
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let (baseline_path, current_path) = match paths.as_slice() {
+        [b, c] => (b.as_str(), c.as_str()),
+        _ => return Err(format!("compare needs exactly two report files\n{USAGE}")),
+    };
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        from_json(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let baseline = load(baseline_path)?;
+    let current = load(current_path)?;
+    let problems = compare(&baseline, &current, tolerance);
+    if problems.is_empty() {
+        println!(
+            "gate passed: {} figure cells and fig3 read counts match {} exactly, \
+             wall times within ±{:.0} %",
+            current.figures.len(),
+            baseline_path,
+            tolerance * 100.0
+        );
+        Ok(())
+    } else {
+        for p in &problems {
+            eprintln!("REGRESSION: {p}");
+        }
+        Err(format!(
+            "{} regression(s) against {baseline_path}; if intentional, regenerate the baseline \
+             (see EXPERIMENTS.md)",
+            problems.len()
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("report") => run_report(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod exp;
 pub mod output;
+pub mod report;
 pub mod setup;
 
 pub use setup::TestBed;

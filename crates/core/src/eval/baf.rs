@@ -19,6 +19,7 @@ use crate::query::Query;
 use crate::rank;
 use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
+use ir_observe::SpanKind;
 use ir_storage::QueryBuffer;
 use ir_types::{IrResult, ListOrdering, PageId};
 
@@ -49,7 +50,10 @@ pub fn evaluate_baf<B: QueryBuffer>(
     let mut stats = EvalStats::default();
     let mut trace = Vec::with_capacity(n);
 
-    for _round in 0..n {
+    let mut qspan = ir_observe::tracer().span(SpanKind::Query, "baf");
+    qspan.attr("terms", n as i64);
+
+    for round in 0..n {
         // Step 3a-i/ii: refresh (f_add, p_t) only if S_max moved.
         if s_max != cache_valid_for {
             for (i, t) in terms.iter().enumerate() {
@@ -64,6 +68,9 @@ pub fn evaluate_baf<B: QueryBuffer>(
             cache_valid_for = s_max;
         }
         // Step 3a-iii/iv: live b_t per unmarked term; pick min d_t.
+        // The whole round — selection plus the chosen term's scan —
+        // reports as one `term-select` span under the query.
+        let mut sel_span = qspan.child(SpanKind::TermSelect, format!("round:{round}"));
         let mut best: Option<(usize, u32)> = None;
         for (i, t) in terms.iter().enumerate() {
             if done[i] {
@@ -85,9 +92,11 @@ pub fn evaluate_baf<B: QueryBuffer>(
                 best = Some((i, d_t));
             }
         }
-        let (i, _) = best.expect("an unmarked term exists in every round");
+        let (i, est_reads) = best.expect("an unmarked term exists in every round");
         done[i] = true;
         let t = &terms[i];
+        sel_span.attr("term", i64::from(t.term.0));
+        sel_span.attr("est_reads", i64::from(est_reads));
 
         // Step 3b: fresh thresholds (f_add equals the cached value — the
         // cache was refreshed against the current S_max above).
@@ -105,6 +114,7 @@ pub fn evaluate_baf<B: QueryBuffer>(
             f_add,
             pages_processed: 0,
             pages_read: 0,
+            est_reads,
         };
         // Step 3c: f_max skip.
         if f64::from(t.f_max) <= f_add {
@@ -122,11 +132,24 @@ pub fn evaluate_baf<B: QueryBuffer>(
             trace.push(row);
             continue;
         }
-        let out = scan_term(buffer, &mut accs, &mut s_max, t, f_ins, f_add, early_stop)?;
+        let out = scan_term(
+            buffer,
+            &mut accs,
+            &mut s_max,
+            t,
+            f_ins,
+            f_add,
+            early_stop,
+            Some(&sel_span),
+        )?;
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);
         stats.entries_processed += out.entries;
+        // The estimator's quality, measured: what d_t promised vs what
+        // the scan actually pulled from disk.
+        stats.baf_estimated_reads += u64::from(est_reads);
+        stats.baf_estimate_abs_error += u64::from(est_reads.abs_diff(out.pages_read));
         row.pages_processed = out.pages_processed;
         row.pages_read = out.pages_read;
         trace.push(row);
@@ -135,6 +158,10 @@ pub fn evaluate_baf<B: QueryBuffer>(
     let hits = rank::top_n(&accs, index.doc_stats(), options.top_n)?;
     stats.peak_accumulators = accs.peak();
     stats.final_accumulators = accs.len();
+    qspan.attr("disk_reads", stats.disk_reads as i64);
+    qspan.attr("est_reads", stats.baf_estimated_reads as i64);
+    qspan.attr("est_abs_error", stats.baf_estimate_abs_error as i64);
+    qspan.attr("candidates", stats.peak_accumulators as i64);
     Ok(QueryResult { hits, stats, trace })
 }
 

@@ -8,6 +8,7 @@ use crate::query::Query;
 use crate::rank;
 use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
+use ir_observe::SpanKind;
 use ir_storage::QueryBuffer;
 use ir_types::{IrResult, ListOrdering};
 
@@ -31,6 +32,9 @@ pub fn evaluate_df<B: QueryBuffer>(
     let mut terms = query.terms().to_vec();
     terms.sort_by(|a, b| b.idf.total_cmp(&a.idf).then(a.term.cmp(&b.term)));
 
+    let mut qspan = ir_observe::tracer().span(SpanKind::Query, "df");
+    qspan.attr("terms", terms.len() as i64);
+
     let mut accs = Accumulators::new();
     let mut s_max = 0.0f64;
     let mut stats = EvalStats::default();
@@ -50,6 +54,7 @@ pub fn evaluate_df<B: QueryBuffer>(
             f_add,
             pages_processed: 0,
             pages_read: 0,
+            est_reads: 0,
         };
         // Step 4b: skip the whole list without reading when even its
         // best entry cannot pass the addition threshold.
@@ -58,7 +63,16 @@ pub fn evaluate_df<B: QueryBuffer>(
             trace.push(row);
             continue;
         }
-        let out = scan_term(buffer, &mut accs, &mut s_max, t, f_ins, f_add, early_stop)?;
+        let out = scan_term(
+            buffer,
+            &mut accs,
+            &mut s_max,
+            t,
+            f_ins,
+            f_add,
+            early_stop,
+            Some(&qspan),
+        )?;
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);
@@ -72,6 +86,8 @@ pub fn evaluate_df<B: QueryBuffer>(
     let hits = rank::top_n(&accs, index.doc_stats(), options.top_n)?;
     stats.peak_accumulators = accs.peak();
     stats.final_accumulators = accs.len();
+    qspan.attr("disk_reads", stats.disk_reads as i64);
+    qspan.attr("candidates", stats.peak_accumulators as i64);
     Ok(QueryResult { hits, stats, trace })
 }
 

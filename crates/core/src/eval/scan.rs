@@ -3,6 +3,7 @@
 
 use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
+use ir_observe::{Span, SpanKind};
 use ir_storage::QueryBuffer;
 use ir_types::{IrResult, PageId};
 
@@ -20,7 +21,9 @@ pub(crate) struct ScanOutcome {
 /// Scans `term`'s list in frequency order, accumulating partial
 /// similarities under `f_ins` / `f_add`, terminating at the first entry
 /// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
-/// touched (step 4(c)v).
+/// touched (step 4(c)v). When `parent` is given, the scan reports
+/// itself as a `list-read` span beneath it.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_term<B: QueryBuffer>(
     buffer: &mut B,
     accs: &mut Accumulators,
@@ -29,7 +32,9 @@ pub(crate) fn scan_term<B: QueryBuffer>(
     f_ins: f64,
     f_add: f64,
     early_stop: bool,
+    parent: Option<&Span>,
 ) -> IrResult<ScanOutcome> {
+    let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
     let mut out = ScanOutcome::default();
     let misses_before = buffer.stats().misses;
     let w_q = term.weight();
@@ -63,6 +68,11 @@ pub(crate) fn scan_term<B: QueryBuffer>(
         }
     }
     out.pages_read = (buffer.stats().misses - misses_before) as u32;
+    if let Some(s) = span.as_mut() {
+        s.attr("pages_processed", i64::from(out.pages_processed));
+        s.attr("pages_read", i64::from(out.pages_read));
+        s.attr("entries", out.entries as i64);
+    }
     Ok(out)
 }
 
@@ -102,7 +112,7 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.pages_read, 2);
         assert_eq!(out.entries, 4);
@@ -118,7 +128,7 @@ mod tests {
         let mut s_max = 0.0;
         // f_add = 2: f=1 fails; the failing entry is on page 1, so both
         // its page and page 0 are processed, and entries = 3 (5, 3, 1).
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 2.0, true).unwrap();
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 2.0, true, None).unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.entries, 3);
         assert_eq!(accs.len(), 2);
@@ -129,7 +139,7 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 1), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 1.0, true).unwrap();
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 1.0, true, None).unwrap();
         assert_eq!(out.pages_processed, 1, "page 1 must not be fetched");
         assert_eq!(out.entries, 2);
         assert_eq!(accs.len(), 1);
@@ -143,7 +153,7 @@ mod tests {
         let mut s_max = 0.0;
         // f_ins = 4: only f=5 creates; f=3 (doc 1) is filtered out
         // entirely; f=2 (doc 2) passes f_add and doc 2 exists → added.
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 4.0, 1.0, true).unwrap();
+        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 4.0, 1.0, true, None).unwrap();
         assert_eq!(out.entries, 3);
         assert_eq!(accs.len(), 2);
         assert!(accs.contains(DocId(0)));
@@ -158,10 +168,10 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
         let mut accs2 = Accumulators::new();
         let mut s2 = 0.0;
-        let out = scan_term(&mut buf, &mut accs2, &mut s2, &term, 0.0, 0.0, true).unwrap();
+        let out = scan_term(&mut buf, &mut accs2, &mut s2, &term, 0.0, 0.0, true, None).unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.pages_read, 0, "everything was resident");
     }
@@ -171,7 +181,7 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3)], 4);
         let mut accs = Accumulators::new();
         let mut s_max = 1000.0;
-        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true).unwrap();
+        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
         assert_eq!(s_max, 1000.0);
     }
 }

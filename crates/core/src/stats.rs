@@ -32,6 +32,12 @@ pub struct EvalStats {
     /// BAF only: `(f_add, p_t)` cache entries recomputed after an
     /// `S_max` change.
     pub threshold_recomputes: u64,
+    /// BAF only: sum of the selected terms' `d_t = max(p_t − b_t, 0)`
+    /// estimates — what BAF *predicted* its scans would read.
+    pub baf_estimated_reads: u64,
+    /// BAF only: `Σ |d_t − actual reads|` over scanned terms — the
+    /// estimator's absolute error, a measured quantity.
+    pub baf_estimate_abs_error: u64,
 }
 
 /// One row of a Table 1/2-style evaluation trace: the state of the
@@ -56,6 +62,9 @@ pub struct TermTraceRow {
     pub pages_processed: u32,
     /// Pages read from disk ("Read").
     pub pages_read: u32,
+    /// BAF's read estimate `d_t` when the term was selected (0 for
+    /// algorithms that do not estimate).
+    pub est_reads: u32,
 }
 
 /// The outcome of one query evaluation.
@@ -103,6 +112,7 @@ mod tests {
                     f_add: 0.0,
                     pages_processed: 2,
                     pages_read: 2,
+                    est_reads: 2,
                 },
                 TermTraceRow {
                     term: TermId(1),
@@ -114,6 +124,7 @@ mod tests {
                     f_add: 0.1,
                     pages_processed: 1,
                     pages_read: 0,
+                    est_reads: 0,
                 },
             ],
         };

@@ -1,5 +1,6 @@
 //! The `SearchEngine` facade.
 
+use crate::ledger::{query_cost, CostLedger};
 use ir_core::eval::{evaluate, EvalOptions};
 use ir_core::{Algorithm, Query, QueryResult};
 use ir_index::{BuildOptions, IndexBuilder, InvertedIndex};
@@ -66,6 +67,7 @@ pub struct SearchEngine {
     analyzer: Analyzer,
     buffer: BufferManager<Arc<DiskSim>>,
     config: EngineConfig,
+    ledger: CostLedger,
 }
 
 impl SearchEngine {
@@ -78,6 +80,7 @@ impl SearchEngine {
             analyzer: Analyzer::english(),
             buffer,
             config,
+            ledger: CostLedger::new(),
         })
     }
 
@@ -125,10 +128,13 @@ impl SearchEngine {
         self.search_terms(&terms)
     }
 
-    /// Evaluates a pre-analyzed `(term, f_{q,t})` query.
+    /// Evaluates a pre-analyzed `(term, f_{q,t})` query and appends one
+    /// row to the engine's [cost ledger](SearchEngine::ledger).
     pub fn search_terms(&mut self, terms: &[(String, u32)]) -> IrResult<QueryResult> {
         let query = Query::from_named(&self.index, terms);
-        evaluate(
+        let borrows_before = self.buffer.borrows();
+        let started = std::time::Instant::now();
+        let result = evaluate(
             self.config.algorithm,
             &self.index,
             &mut self.buffer,
@@ -139,7 +145,17 @@ impl SearchEngine {
                 baf_force_first_page: false,
                 announce_query: true,
             },
-        )
+        )?;
+        let eval_us = started.elapsed().as_micros() as u64;
+        let step = self.ledger.len() as u32;
+        self.ledger.record(query_cost(
+            0,
+            step,
+            &result.stats,
+            self.buffer.borrows() - borrows_before,
+            eval_us,
+        ));
+        Ok(result)
     }
 
     /// Empties the buffer pool (start of a cold refinement sequence).
@@ -167,6 +183,18 @@ impl SearchEngine {
     /// Buffer-pool statistics since construction / last reset.
     pub fn buffer_stats(&self) -> BufferStats {
         self.buffer.stats()
+    }
+
+    /// The per-query cost ledger accumulated over this engine's
+    /// searches (one row per query, in submission order).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Drains and returns the cost ledger (e.g. between benchmark
+    /// phases).
+    pub fn take_ledger(&mut self) -> CostLedger {
+        std::mem::take(&mut self.ledger)
     }
 
     /// Zeroes buffer and disk statistics (e.g. after warmup).
@@ -266,6 +294,30 @@ mod tests {
             assert_eq!(x.doc, y.doc);
             assert!((x.score - y.score).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn ledger_records_one_row_per_query_with_matching_reads() {
+        let mut e = SearchEngine::from_texts(docs(), EngineConfig::default()).unwrap();
+        let a = e.search_text("stockmarket price").unwrap();
+        let b = e.search_text("stockmarket price crash").unwrap();
+        let ledger = e.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.entries[0].step, 0);
+        assert_eq!(ledger.entries[1].step, 1);
+        assert_eq!(ledger.entries[0].disk_reads, a.stats.disk_reads);
+        assert_eq!(ledger.entries[1].disk_reads, b.stats.disk_reads);
+        assert_eq!(
+            ledger.entries[1].buffer_hits,
+            b.stats.pages_processed - b.stats.disk_reads
+        );
+        let sessions = ledger.session_costs();
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].queries, 2);
+        assert_eq!(sessions[0].disk_reads, ledger.total_disk_reads());
+        let drained = e.take_ledger();
+        assert_eq!(drained.len(), 2);
+        assert!(e.ledger().is_empty());
     }
 
     #[test]

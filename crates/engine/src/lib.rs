@@ -22,10 +22,12 @@
 
 pub mod corpus_load;
 pub mod engine;
+pub mod ledger;
 pub mod server;
 
 pub use corpus_load::{
     index_corpus, index_corpus_opts, index_corpus_with, topic_query_terms, IndexCorpusOptions,
 };
 pub use engine::{EngineConfig, SearchEngine};
+pub use ledger::{CostLedger, QueryCost, SessionCost};
 pub use server::{PoolLayout, Schedule, ServerReport, SessionServer, SessionSpec};

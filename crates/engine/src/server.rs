@@ -25,9 +25,11 @@
 //! per-session ones are exact under [`Schedule::RoundRobin`], where
 //! queries never overlap.
 
+use crate::ledger::{query_cost, CostLedger, QueryCost};
 use ir_core::eval::{evaluate, EvalOptions};
 use ir_core::{Algorithm, Query, RefinementSequence, SequenceOutcome, StepOutcome};
 use ir_index::InvertedIndex;
+use ir_observe::SpanKind;
 use ir_storage::{
     BufferStats, DiskSim, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
     SharedBufferManager, SharedPartitionedBuffer,
@@ -117,6 +119,10 @@ pub struct ServerReport {
     /// run. Always equals `final_occupancy`: every frame holds exactly
     /// one page of exactly one term's list.
     pub resident_term_pages: u64,
+    /// One [`QueryCost`] row per evaluated refinement, across every
+    /// session. Per-row borrow attribution is exact under
+    /// [`Schedule::RoundRobin`]; totals are always exact.
+    pub ledger: CostLedger,
 }
 
 impl ServerReport {
@@ -222,6 +228,14 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Partition(h) => h.stats(),
         }
     }
+
+    fn borrows(&self) -> u64 {
+        match self {
+            SessionBuffer::Shared(p) => p.borrows(),
+            SessionBuffer::GlobalShared { pool, .. } => pool.borrows(),
+            SessionBuffer::Partition(h) => h.borrows(),
+        }
+    }
 }
 
 /// The pool a run provisions, in its thread-shareable form.
@@ -275,6 +289,7 @@ impl<'a> SessionServer<'a> {
                 total_frames: 0,
                 final_occupancy: 0,
                 resident_term_pages: 0,
+                ledger: CostLedger::new(),
             });
         }
         let (pool, total_frames) = match self.layout {
@@ -313,7 +328,8 @@ impl<'a> SessionServer<'a> {
             .unwrap_or(0);
         let turns = Turnstile::default();
         let index = self.index;
-        let results: Vec<IrResult<SequenceOutcome>> = crossbeam::thread::scope(|scope| {
+        type SessionRun = IrResult<(SequenceOutcome, Vec<QueryCost>)>;
+        let results: Vec<SessionRun> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (user, spec) in specs.iter().enumerate() {
                 let mut buffer = match &pool {
@@ -329,7 +345,11 @@ impl<'a> SessionServer<'a> {
                 };
                 let turns = &turns;
                 handles.push(scope.spawn(move |_| {
+                    let mut sspan =
+                        ir_observe::tracer().span(SpanKind::Session, format!("user:{user}"));
+                    sspan.attr("steps", spec.sequence.steps.len() as i64);
                     let mut steps = Vec::with_capacity(spec.sequence.steps.len());
+                    let mut costs = Vec::with_capacity(spec.sequence.steps.len());
                     let mut failure: Option<IrError> = None;
                     for step in 0..max_steps {
                         if schedule == Schedule::RoundRobin {
@@ -337,6 +357,8 @@ impl<'a> SessionServer<'a> {
                         }
                         if failure.is_none() {
                             if let Some(terms) = spec.sequence.steps.get(step) {
+                                let borrows_before = buffer.borrows();
+                                let started = std::time::Instant::now();
                                 // A panic inside evaluation must not
                                 // strand the other sessions at the
                                 // turnstile: catch it and fail this
@@ -359,11 +381,20 @@ impl<'a> SessionServer<'a> {
                                         ))
                                     });
                                 match outcome {
-                                    Ok(result) => steps.push(StepOutcome {
-                                        stats: result.stats,
-                                        hits: result.hits,
-                                        avg_precision: None,
-                                    }),
+                                    Ok(result) => {
+                                        costs.push(query_cost(
+                                            user as u32,
+                                            step as u32,
+                                            &result.stats,
+                                            buffer.borrows() - borrows_before,
+                                            started.elapsed().as_micros() as u64,
+                                        ));
+                                        steps.push(StepOutcome {
+                                            stats: result.stats,
+                                            hits: result.hits,
+                                            avg_precision: None,
+                                        });
+                                    }
                                     Err(e) => failure = Some(e),
                                 }
                             }
@@ -372,9 +403,13 @@ impl<'a> SessionServer<'a> {
                             turns.advance();
                         }
                     }
+                    sspan.attr(
+                        "disk_reads",
+                        steps.iter().map(|s| s.stats.disk_reads).sum::<u64>() as i64,
+                    );
                     match failure {
                         Some(e) => Err(e),
-                        None => Ok(SequenceOutcome { steps }),
+                        None => Ok((SequenceOutcome { steps }, costs)),
                     }
                 }));
             }
@@ -388,7 +423,15 @@ impl<'a> SessionServer<'a> {
                 .collect()
         })
         .expect("session scope cannot fail: all threads are joined");
-        let sessions = results.into_iter().collect::<IrResult<Vec<_>>>()?;
+        let mut sessions = Vec::with_capacity(n);
+        let mut ledger = CostLedger::new();
+        for result in results {
+            let (outcome, costs) = result?;
+            sessions.push(outcome);
+            for cost in costs {
+                ledger.record(cost);
+            }
+        }
         let n_terms = self.index.lexicon().len() as u32;
         let all_terms = (0..n_terms).map(TermId);
         let (pool_stats, sibling_hits, final_occupancy, resident_term_pages) = match &pool {
@@ -414,6 +457,7 @@ impl<'a> SessionServer<'a> {
             total_frames,
             final_occupancy,
             resident_term_pages,
+            ledger,
         })
     }
 }
@@ -599,6 +643,37 @@ mod tests {
             "sibling borrowing should beat private pools: {} vs {private_total}",
             report.total_disk_reads()
         );
+    }
+
+    #[test]
+    fn ledger_carries_one_row_per_refinement_matching_session_stats() {
+        let idx = index();
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Partitioned {
+                frames_each: 4,
+                policy: PolicyKind::Rap,
+            },
+        );
+        let report = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
+        assert_eq!(report.ledger.len(), 4 * 3, "4 users × 3 refinements");
+        assert_eq!(report.ledger.total_disk_reads(), report.total_disk_reads());
+        // Rows agree with the per-session outcomes they were built from.
+        for row in &report.ledger.entries {
+            let stats = &report.sessions[row.session as usize].steps[row.step as usize].stats;
+            assert_eq!(row.disk_reads, stats.disk_reads);
+            assert_eq!(row.buffer_hits, stats.pages_processed - stats.disk_reads);
+            assert_eq!(row.candidates, stats.peak_accumulators as u64);
+        }
+        // Under RoundRobin the per-row borrow deltas carve up the
+        // pool's borrow total exactly.
+        let total_borrows: u64 = report.ledger.entries.iter().map(|e| e.borrows).sum();
+        assert_eq!(total_borrows, report.sibling_hits);
+        assert!(total_borrows > 0, "overlapping queries must borrow");
+        // The rollup covers every session once.
+        let sessions = report.ledger.session_costs();
+        assert_eq!(sessions.len(), 4);
+        assert!(sessions.iter().all(|s| s.queries == 3));
     }
 
     #[test]

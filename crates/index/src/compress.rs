@@ -53,6 +53,20 @@ impl CompressionStats {
     }
 }
 
+/// Decode counters on the global registry, resolved once: the name
+/// lookup takes a short lock, the per-decode bumps are lock-free.
+fn decode_counters() -> &'static (ir_observe::Counter, ir_observe::Counter) {
+    static COUNTERS: std::sync::OnceLock<(ir_observe::Counter, ir_observe::Counter)> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = ir_observe::global();
+        (
+            registry.counter("index.pages_decoded"),
+            registry.counter("index.bytes_decompressed"),
+        )
+    })
+}
+
 fn put_vbyte(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
@@ -124,8 +138,13 @@ pub fn encode_postings(postings: &[Posting]) -> Bytes {
 /// Decodes postings produced by [`encode_postings`].
 ///
 /// Returns `None` on any malformed input (truncated varint, overflowing
-/// counts, non-decreasing frequencies).
+/// counts, non-decreasing frequencies). Each call records one page
+/// decode and the compressed byte count on the global `ir-observe`
+/// registry (`index.pages_decoded` / `index.bytes_decompressed`).
 pub fn decode_postings(mut data: Bytes) -> Option<Vec<Posting>> {
+    let (pages, bytes) = decode_counters();
+    pages.inc();
+    bytes.add(data.remaining() as u64);
     let n = get_vbyte(&mut data)? as usize;
     // Guard against hostile counts: each posting costs ≥ 1 byte.
     if n > data.remaining().saturating_mul(2) + 2 {

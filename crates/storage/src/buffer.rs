@@ -6,8 +6,9 @@ use crate::disk::PageStore;
 use crate::observe::{BufferEvent, BufferObserver};
 use crate::page::Page;
 use crate::policy::{PolicyKind, ReplacementPolicy};
-use crate::stats::BufferStats;
+use crate::stats::{BufferMetrics, BufferStats};
 use ir_types::{IrError, IrResult, PageId, TermId};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A buffer pool of `capacity` page frames over a page store.
@@ -63,7 +64,7 @@ pub struct BufferManager<S: PageStore> {
     policy_kind: PolicyKind,
     resident_per_term: HashMap<TermId, u32>,
     pins: HashMap<PageId, u32>,
-    stats: BufferStats,
+    metrics: BufferMetrics,
     observer: Option<Box<dyn BufferObserver>>,
 }
 
@@ -84,17 +85,17 @@ impl<S: PageStore> BufferManager<S> {
             policy_kind: policy,
             resident_per_term: HashMap::new(),
             pins: HashMap::new(),
-            stats: BufferStats::default(),
+            metrics: BufferMetrics::new(),
             observer: None,
         })
     }
 
     /// Fetches a page through the pool, counting a hit or a disk read.
     pub fn fetch(&mut self, id: PageId) -> IrResult<Page> {
-        self.stats.requests += 1;
+        self.metrics.requests.inc();
         if let Some(page) = self.frames.get(&id) {
             let page = page.clone();
-            self.stats.hits += 1;
+            self.metrics.hits.inc();
             self.policy.on_hit(&page);
             self.notify(BufferEvent::Hit(id));
             return Ok(page);
@@ -107,11 +108,10 @@ impl<S: PageStore> BufferManager<S> {
             return Err(IrError::NoEvictableFrame);
         }
         let page = self.store.read_page(id)?;
-        self.stats.misses += 1;
         while self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
-        self.install(page.clone());
+        self.install(page.clone(), false);
         Ok(page)
     }
 
@@ -120,10 +120,11 @@ impl<S: PageStore> BufferManager<S> {
     /// sibling partition's frame, a recovery image). Makes room by
     /// normal eviction; a page that is already resident is left as is.
     ///
-    /// Admission itself touches no request/hit/miss counter (only
-    /// `evictions`, if room had to be made): the caller decides what
-    /// the admission means for its accounting, typically by following
-    /// up with a [`fetch`](Self::fetch) that now hits.
+    /// Admission touches no request/hit/miss counter (only the borrow
+    /// counter, plus `evictions` if room had to be made): the caller
+    /// decides what the admission means for its accounting, typically
+    /// by following up with a [`fetch`](Self::fetch) that now hits.
+    /// Observers see a [`BufferEvent::Borrow`], not a `Load`.
     ///
     /// # Errors
     /// [`IrError::NoEvictableFrame`] if the pool is full of pinned
@@ -135,18 +136,26 @@ impl<S: PageStore> BufferManager<S> {
         while self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
-        self.install(page);
+        self.install(page, true);
         Ok(())
     }
 
     /// Puts a non-resident page into a free frame and wires up the
-    /// counters, policy, and observer.
-    fn install(&mut self, page: Page) {
+    /// counters, policy, and observer. `borrowed` distinguishes the
+    /// store-less admit path (a `Borrow`) from a completed miss (a
+    /// `Load` — i.e. a disk read).
+    fn install(&mut self, page: Page, borrowed: bool) {
         let id = page.id();
         *self.resident_per_term.entry(id.term).or_insert(0) += 1;
         self.policy.on_insert(&page);
         self.frames.insert(id, page);
-        self.notify(BufferEvent::Load(id));
+        if borrowed {
+            self.metrics.borrows.inc();
+            self.notify(BufferEvent::Borrow(id));
+        } else {
+            self.metrics.loads.inc();
+            self.notify(BufferEvent::Load(id));
+        }
     }
 
     /// Is any resident page evictable? O(1) while fewer pages are
@@ -165,16 +174,38 @@ impl<S: PageStore> BufferManager<S> {
 
     fn evict_one(&mut self) -> IrResult<()> {
         let pins = &self.pins;
+        // Record which pinned pages the policy had to pass over: the
+        // exclusion predicate is the only place the pool learns of
+        // them, so it doubles as the probe. Policies may test a page
+        // more than once per decision — dedup before counting.
+        let skipped = RefCell::new(Vec::new());
         let victim = self
             .policy
-            .choose_victim(&|id| pins.contains_key(&id))
+            .choose_victim(&|id| {
+                let pinned = pins.contains_key(&id);
+                if pinned {
+                    skipped.borrow_mut().push(id);
+                }
+                pinned
+            })
             .ok_or(IrError::NoEvictableFrame)?;
+        let mut skipped = skipped.into_inner();
+        skipped.sort_unstable();
+        skipped.dedup();
+        for id in skipped {
+            self.metrics.skip_pinned.inc();
+            self.notify(BufferEvent::SkipPinned(id));
+        }
         debug_assert!(
             self.frames.contains_key(&victim),
             "policy returned a non-resident victim"
         );
         self.frames.remove(&victim);
-        self.stats.evictions += 1;
+        if victim.page.0 == 0 {
+            self.metrics.evictions_head.inc();
+        } else {
+            self.metrics.evictions_tail.inc();
+        }
         self.notify(BufferEvent::Evict(victim));
         if let Some(count) = self.resident_per_term.get_mut(&victim.term) {
             *count -= 1;
@@ -265,12 +296,24 @@ impl<S: PageStore> BufferManager<S> {
 
     /// Zeroes the counters.
     pub fn reset_stats(&mut self) {
-        self.stats = BufferStats::default();
+        self.metrics.reset();
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> BufferStats {
-        self.stats
+        self.metrics.snapshot()
+    }
+
+    /// The pool's live `ir-observe` counter handles — finer-grained
+    /// than [`stats`](Self::stats) (borrows, head/tail evictions,
+    /// pinned skips) and shareable across threads.
+    pub fn metrics(&self) -> &BufferMetrics {
+        &self.metrics
+    }
+
+    /// Pages admitted without a store read (sibling borrows).
+    pub fn borrows(&self) -> u64 {
+        self.metrics.borrows.get()
     }
 
     /// Number of frames in use.

@@ -38,9 +38,9 @@ pub mod stats;
 
 pub use buffer::BufferManager;
 pub use disk::{DiskSim, DiskStats, PageStore};
-pub use observe::{BufferEvent, BufferObserver, EventLog};
+pub use observe::{BufferEvent, BufferObserver, EventCounts, EventLog};
 pub use page::Page;
 pub use partition::PartitionedBuffer;
 pub use policy::{PolicyKind, ReplacementPolicy};
 pub use shared::{PartitionHandle, QueryBuffer, SharedBufferManager, SharedPartitionedBuffer};
-pub use stats::BufferStats;
+pub use stats::{BufferMetrics, BufferStats};

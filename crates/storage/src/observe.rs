@@ -19,6 +19,12 @@ pub enum BufferEvent {
     Hit(PageId),
     /// A page was chosen as the replacement victim.
     Evict(PageId),
+    /// A page was admitted into a frame without a store read — the
+    /// cross-partition borrow path (`admit`).
+    Borrow(PageId),
+    /// A pinned page was passed over while choosing an eviction victim
+    /// (reported once per page per eviction decision).
+    SkipPinned(PageId),
     /// The pool was emptied.
     Flush,
 }
@@ -68,6 +74,47 @@ impl BufferObserver for EventLog {
     }
 }
 
+/// Per-variant tallies of an event stream, field-for-field comparable
+/// with the pool's `BufferMetrics` counters — the bridge that lets
+/// tests assert the two accounting paths (events vs. lock-free
+/// counters) never disagree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `Load` events (disk reads into frames).
+    pub loads: u64,
+    /// `Hit` events.
+    pub hits: u64,
+    /// `Borrow` events (store-less admissions).
+    pub borrows: u64,
+    /// `Evict` events whose victim was a list-head page.
+    pub evictions_head: u64,
+    /// `Evict` events whose victim was a non-head page.
+    pub evictions_tail: u64,
+    /// `SkipPinned` events.
+    pub skip_pinned: u64,
+    /// `Flush` events.
+    pub flushes: u64,
+}
+
+impl EventCounts {
+    /// Folds an event stream into tallies.
+    pub fn tally(events: &[BufferEvent]) -> Self {
+        let mut c = EventCounts::default();
+        for e in events {
+            match e {
+                BufferEvent::Load(_) => c.loads += 1,
+                BufferEvent::Hit(_) => c.hits += 1,
+                BufferEvent::Borrow(_) => c.borrows += 1,
+                BufferEvent::Evict(id) if id.page.0 == 0 => c.evictions_head += 1,
+                BufferEvent::Evict(_) => c.evictions_tail += 1,
+                BufferEvent::SkipPinned(_) => c.skip_pinned += 1,
+                BufferEvent::Flush => c.flushes += 1,
+            }
+        }
+        c
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +132,32 @@ mod tests {
         log.event(BufferEvent::Flush);
         assert_eq!(log.events().len(), 5);
         assert_eq!(log.evictions(), vec![a]);
+    }
+
+    #[test]
+    fn tally_folds_every_variant() {
+        let head = PageId::new(TermId(3), 0);
+        let tail = PageId::new(TermId(3), 2);
+        let events = [
+            BufferEvent::Load(head),
+            BufferEvent::Hit(head),
+            BufferEvent::Borrow(tail),
+            BufferEvent::Evict(head),
+            BufferEvent::Evict(tail),
+            BufferEvent::SkipPinned(head),
+            BufferEvent::Flush,
+        ];
+        assert_eq!(
+            EventCounts::tally(&events),
+            EventCounts {
+                loads: 1,
+                hits: 1,
+                borrows: 1,
+                evictions_head: 1,
+                evictions_tail: 1,
+                skip_pinned: 1,
+                flushes: 1,
+            }
+        );
     }
 }

@@ -26,8 +26,6 @@ pub type PartitionId = usize;
 #[derive(Debug)]
 pub struct PartitionedBuffer<S: PageStore> {
     partitions: Vec<BufferManager<Arc<S>>>,
-    /// Disk reads avoided by borrowing a page from a sibling partition.
-    sibling_hits: u64,
 }
 
 impl<S: PageStore> PartitionedBuffer<S> {
@@ -48,10 +46,7 @@ impl<S: PageStore> PartitionedBuffer<S> {
         let partitions = (0..n_partitions)
             .map(|_| BufferManager::new(Arc::clone(&store), frames_each, policy))
             .collect::<IrResult<Vec<_>>>()?;
-        Ok(PartitionedBuffer {
-            partitions,
-            sibling_hits: 0,
-        })
+        Ok(PartitionedBuffer { partitions })
     }
 
     /// Fetches a page on behalf of partition `pid`. A miss first probes
@@ -79,9 +74,9 @@ impl<S: PageStore> PartitionedBuffer<S> {
             // Borrow the sibling's frame: admit the copy store-lessly,
             // then serve the request as the buffer hit it now is. The
             // borrow counts as a hit (not a miss) in `pid`'s partition
-            // and issues zero reads against the shared store.
+            // and issues zero reads against the shared store; admit
+            // records it on the partition's borrow counter.
             self.partitions[pid].admit(page)?;
-            self.sibling_hits += 1;
         }
         self.partitions[pid].fetch(id)
     }
@@ -95,8 +90,15 @@ impl<S: PageStore> PartitionedBuffer<S> {
 
     /// Disk reads that were avoidable because a sibling partition held
     /// the page (the paper's cross-user benefit, reported separately).
+    /// Within a partitioned pool every admission is a sibling borrow,
+    /// so this is the sum of the per-partition borrow counters.
     pub fn sibling_hits(&self) -> u64 {
-        self.sibling_hits
+        self.partitions.iter().map(BufferManager::borrows).sum()
+    }
+
+    /// Sibling borrows charged to one partition.
+    pub fn borrows(&self, pid: PartitionId) -> u64 {
+        self.partitions.get(pid).map_or(0, BufferManager::borrows)
     }
 
     /// `b_t` within one partition: resident pages of `term`'s list in

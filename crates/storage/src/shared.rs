@@ -44,6 +44,12 @@ pub trait QueryBuffer {
     /// Snapshot of the pool counters this buffer draws on. For a
     /// shared pool the numbers aggregate every session's traffic.
     fn stats(&self) -> BufferStats;
+
+    /// Pages this buffer obtained without a disk read by borrowing a
+    /// sibling partition's frame. Zero for unpartitioned pools.
+    fn borrows(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: PageStore> QueryBuffer for BufferManager<S> {
@@ -61,6 +67,10 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
 
     fn stats(&self) -> BufferStats {
         BufferManager::stats(self)
+    }
+
+    fn borrows(&self) -> u64 {
+        BufferManager::borrows(self)
     }
 }
 
@@ -135,6 +145,10 @@ impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
 
     fn stats(&self) -> BufferStats {
         self.inner.lock().stats()
+    }
+
+    fn borrows(&self) -> u64 {
+        self.inner.lock().borrows()
     }
 }
 
@@ -218,6 +232,10 @@ impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
 
     fn stats(&self) -> BufferStats {
         self.pool.lock().stats(self.pid).unwrap_or_default()
+    }
+
+    fn borrows(&self) -> u64 {
+        self.pool.lock().borrows(self.pid)
     }
 }
 

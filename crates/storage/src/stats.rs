@@ -1,5 +1,12 @@
-//! Buffer-manager counters.
+//! Buffer-pool accounting on `ir-observe` registry handles.
+//!
+//! [`BufferStats`] remains the value type experiments snapshot and
+//! diff; the counters behind it live in [`BufferMetrics`] — lock-free
+//! `ir-observe` handles registered per pool, finer-grained than the
+//! snapshot (loads vs. sibling borrows, evictions split head/tail,
+//! pinned-victim skips).
 
+use ir_observe::{Counter, MetricsSnapshot, Registry};
 use serde::Serialize;
 
 /// Cumulative buffer-pool statistics.
@@ -48,6 +55,91 @@ impl BufferStats {
     }
 }
 
+/// The live counters of one buffer pool, as `ir-observe` registry
+/// handles. Recording is a relaxed atomic add per event; the
+/// [`BufferStats`] the rest of the stack consumes is derived on demand
+/// by [`snapshot`](BufferMetrics::snapshot).
+///
+/// The registry is per-pool, so counter names need no policy suffix:
+/// "per policy" pinned-skip accounting falls out of each pool running
+/// exactly one policy (dump [`BufferMetrics::dump`] alongside
+/// the pool's `policy_kind` to label it).
+#[derive(Clone, Debug)]
+pub struct BufferMetrics {
+    registry: Registry,
+    /// Page requests (hits + misses + failed fetches).
+    pub requests: Counter,
+    /// Requests served from a resident frame.
+    pub hits: Counter,
+    /// Pages read from the store into a frame (disk reads).
+    pub loads: Counter,
+    /// Pages admitted without a store read (sibling borrows).
+    pub borrows: Counter,
+    /// Evictions of list-head pages (`PageNo` 0).
+    pub evictions_head: Counter,
+    /// Evictions of non-head pages.
+    pub evictions_tail: Counter,
+    /// Pinned pages passed over while choosing an eviction victim
+    /// (counted once per page per eviction decision).
+    pub skip_pinned: Counter,
+}
+
+impl Default for BufferMetrics {
+    fn default() -> Self {
+        BufferMetrics::new()
+    }
+}
+
+impl BufferMetrics {
+    /// Fresh counters in a private registry.
+    pub fn new() -> Self {
+        BufferMetrics::in_registry(&Registry::new())
+    }
+
+    /// Handles registered in `registry` under the canonical
+    /// `buffer.*` names, so several layers can share one namespace.
+    pub fn in_registry(registry: &Registry) -> Self {
+        BufferMetrics {
+            registry: registry.clone(),
+            requests: registry.counter("buffer.requests"),
+            hits: registry.counter("buffer.hits"),
+            loads: registry.counter("buffer.loads"),
+            borrows: registry.counter("buffer.borrows"),
+            evictions_head: registry.counter("buffer.evictions.head"),
+            evictions_tail: registry.counter("buffer.evictions.tail"),
+            skip_pinned: registry.counter("buffer.skip_pinned"),
+        }
+    }
+
+    /// The classic four-counter snapshot: `misses` is exactly `loads`
+    /// (every miss that completed read one page; borrows are hits by
+    /// construction) and `evictions` merges the head/tail split.
+    pub fn snapshot(&self) -> BufferStats {
+        BufferStats {
+            requests: self.requests.get(),
+            hits: self.hits.get(),
+            misses: self.loads.get(),
+            evictions: self.evictions_head.get() + self.evictions_tail.get(),
+        }
+    }
+
+    /// Full registry dump including the fine-grained counters the
+    /// snapshot folds away.
+    pub fn dump(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The registry these handles live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Zeroes every counter (the pool's `reset_stats`).
+    pub fn reset(&self) {
+        self.registry.reset_counters();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +175,40 @@ mod tests {
             evictions: 0,
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_derives_the_classic_view() {
+        let m = BufferMetrics::new();
+        m.requests.add(5);
+        m.hits.add(2);
+        m.loads.add(3);
+        m.borrows.inc(); // borrows are not misses
+        m.evictions_head.inc();
+        m.evictions_tail.add(2);
+        let s = m.snapshot();
+        assert_eq!(
+            s,
+            BufferStats {
+                requests: 5,
+                hits: 2,
+                misses: 3,
+                evictions: 3,
+            }
+        );
+        m.reset();
+        assert_eq!(m.snapshot(), BufferStats::default());
+        assert_eq!(m.borrows.get(), 0);
+    }
+
+    #[test]
+    fn dump_exposes_fine_grained_counters() {
+        let m = BufferMetrics::new();
+        m.skip_pinned.add(4);
+        m.borrows.add(2);
+        let d = m.dump();
+        assert_eq!(d.counter("buffer.skip_pinned"), Some(4));
+        assert_eq!(d.counter("buffer.borrows"), Some(2));
+        assert_eq!(d.counter("buffer.loads"), Some(0));
     }
 }

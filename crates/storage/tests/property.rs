@@ -4,10 +4,24 @@
 //! [`ReplacementPolicy::choose_victim`] exclusion predicate, and the
 //! full [`BufferManager`] with per-frame pin counts.
 
-use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
+use ir_storage::{
+    BufferEvent, BufferManager, BufferObserver, DiskSim, EventCounts, Page, PolicyKind,
+};
 use ir_types::{PageId, Posting, TermId};
 use proptest::{collection, proptest, ProptestConfig};
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// An observer whose log outlives the pool, so a test can tally events
+/// while the manager still owns the observer box.
+#[derive(Clone, Debug, Default)]
+struct SharedLog(Arc<Mutex<Vec<BufferEvent>>>);
+
+impl BufferObserver for SharedLog {
+    fn event(&mut self, event: BufferEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
 
 const N_TERMS: u32 = 4;
 const PAGES_PER_TERM: u32 = 8;
@@ -125,6 +139,80 @@ proptest! {
                 }
             }
             assert!(bm.len() <= capacity, "{kind}: pool over capacity after unpin flood");
+        }
+    }
+
+    /// Dual-accounting invariant: for any fetch/pin/admit/flush
+    /// workload, the lock-free `BufferMetrics` counters equal the fold
+    /// of the event stream the observer saw ([`EventCounts::tally`]) —
+    /// the two accounting paths can never disagree.
+    #[test]
+    fn metrics_counters_equal_the_event_log_tally(
+        capacity in 2usize..6,
+        ops in collection::vec(
+            (0u32..N_TERMS, 0u32..PAGES_PER_TERM, 0u8..8),
+            1..80,
+        ),
+        flush_at_end in proptest::any::<bool>(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut bm = BufferManager::new(store(), capacity, kind).unwrap();
+            let log = SharedLog::default();
+            bm.set_observer(Box::new(log.clone()));
+            let mut pinned: Vec<PageId> = Vec::new();
+            for (t, p, action) in &ops {
+                let id = PageId::new(TermId(*t), *p);
+                match action {
+                    // The borrow path: a page image obtained out of
+                    // band, installed without a store read.
+                    0 => bm.admit(page(*t, *p)).unwrap(),
+                    // Pin after fetching (keeping one frame free so
+                    // later fetches and admits always succeed).
+                    1 => {
+                        bm.fetch(id).unwrap();
+                        if !pinned.contains(&id) && pinned.len() + 1 < capacity {
+                            bm.pin(id);
+                            pinned.push(id);
+                        }
+                    }
+                    _ => {
+                        bm.fetch(id).unwrap();
+                    }
+                }
+            }
+            if flush_at_end {
+                for pin in pinned.drain(..) {
+                    bm.unpin(pin);
+                }
+                bm.flush();
+            }
+            let counts = EventCounts::tally(&log.0.lock().unwrap());
+            let m = bm.metrics();
+            assert_eq!(m.loads.get(), counts.loads, "{kind}: loads");
+            assert_eq!(m.hits.get(), counts.hits, "{kind}: hits");
+            assert_eq!(m.borrows.get(), counts.borrows, "{kind}: borrows");
+            assert_eq!(
+                m.evictions_head.get(),
+                counts.evictions_head,
+                "{kind}: head evictions"
+            );
+            assert_eq!(
+                m.evictions_tail.get(),
+                counts.evictions_tail,
+                "{kind}: tail evictions"
+            );
+            assert_eq!(m.skip_pinned.get(), counts.skip_pinned, "{kind}: skips");
+            // The snapshot view agrees with both accounting paths:
+            // every fetch succeeded, so requests = hits + misses, and
+            // misses are exactly the loads.
+            let s = bm.stats();
+            assert_eq!(s.requests, s.hits + s.misses, "{kind}: request split");
+            assert_eq!(s.misses, counts.loads, "{kind}: misses are loads");
+            assert_eq!(
+                s.evictions,
+                counts.evictions_head + counts.evictions_tail,
+                "{kind}: eviction split"
+            );
         }
     }
 }
