@@ -6,16 +6,22 @@
 //!
 //! # Gate a report against a checked-in baseline (exit 1 on regression):
 //! cargo run --release -p ir-bench --bin bench -- compare results/bench_baseline.json BENCH_report.json
+//!
+//! # Drive every policy × layout combination under seeded faults:
+//! cargo run --release -p ir-bench --bin bench -- chaos --seed 193
 //! ```
 //!
 //! Disk-read counts are deterministic and compared exactly; wall times
-//! get a ±15 % tolerance by default (`--tolerance 0.15`).
+//! get a ±15 % tolerance by default (`--tolerance 0.15`). The `chaos`
+//! report contains no wall-clock numbers: two runs with the same seed
+//! and scale print byte-identical output (CI diffs them).
 
 use ir_bench::report::{collect, compare, from_json, to_json};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
-       bench compare BASELINE CURRENT [--tolerance FRACTION]";
+       bench compare BASELINE CURRENT [--tolerance FRACTION]
+       bench chaos [--seed N] [--scale SIGMA]";
 
 fn run_report(args: &[String]) -> Result<(), String> {
     let mut scale = 1.0 / 16.0;
@@ -117,11 +123,41 @@ fn run_compare(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn run_chaos(args: &[String]) -> Result<(), String> {
+    let mut seed = 193u64;
+    let mut scale = 1.0 / 16.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed needs an unsigned integer")?;
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or("--scale needs a number in (0, 1]")?;
+            }
+            other => return Err(format!("unknown chaos flag {other:?}")),
+        }
+        i += 1;
+    }
+    print!("{}", ir_bench::chaos::run(seed, scale)?);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("report") => run_report(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

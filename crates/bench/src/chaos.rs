@@ -1,0 +1,177 @@
+//! The `bench chaos` subcommand: every replacement policy × pool
+//! layout combination run through the threaded [`SessionServer`] under
+//! a seeded fault schedule, with the fault-tolerance contract checked
+//! after each run.
+//!
+//! For every combination the driver executes the same four refinement
+//! sessions twice — once fault-free, once through a
+//! [`FaultConfig::chaos`] store with a retry budget covering the
+//! consecutive-fault cap — and asserts:
+//!
+//! * **transparency** — every session completes and per-session disk
+//!   reads equal the fault-free run's (recovered faults must not move
+//!   the paper's metric);
+//! * **pool invariants** — `hits + misses = requests`, occupancy never
+//!   exceeds capacity, and the per-term `b_t` counters sum to the
+//!   occupancy (no lost or duplicated frames);
+//! * **coverage** — the seed actually injected faults and exercised
+//!   the retry path, and no fetch exhausted its budget.
+//!
+//! The emitted report contains no wall-clock numbers, so two runs with
+//! the same seed and scale are byte-identical — CI runs the command
+//! twice and diffs the output to pin determinism.
+
+use crate::setup::{pick_representatives, profile_queries, TestBed};
+use ir_core::{Algorithm, RefinementKind};
+use ir_engine::{PoolLayout, Schedule, ServerReport, SessionOutcome, SessionServer, SessionSpec};
+use ir_storage::{FaultConfig, FetchPolicy, PolicyKind};
+use std::fmt::Write as _;
+
+/// Retry budget used for every chaotic run; covers the
+/// `max_consecutive_faults` cap of [`FaultConfig::chaos`] with one
+/// attempt to spare.
+const RETRY_BUDGET: u32 = 4;
+
+fn layout_name(layout: PoolLayout) -> String {
+    match layout {
+        PoolLayout::Shared {
+            total_frames,
+            global_history,
+            ..
+        } => format!(
+            "shared[{total_frames}]{}",
+            if global_history { "+global" } else { "" }
+        ),
+        PoolLayout::Partitioned { frames_each, .. } => format!("partitioned[{frames_each}ea]"),
+    }
+}
+
+fn check_invariants(r: &ServerReport, label: &str) -> Result<(), String> {
+    let s = r.pool_stats;
+    if s.hits + s.misses != s.requests {
+        return Err(format!(
+            "{label}: request split broken: {} hits + {} misses != {} requests",
+            s.hits, s.misses, s.requests
+        ));
+    }
+    if r.final_occupancy > r.total_frames {
+        return Err(format!(
+            "{label}: pool over capacity: {} frames occupied of {}",
+            r.final_occupancy, r.total_frames
+        ));
+    }
+    if r.resident_term_pages != r.final_occupancy as u64 {
+        return Err(format!(
+            "{label}: b_t disagrees with occupancy ({} vs {}): lost or duplicated frame",
+            r.resident_term_pages, r.final_occupancy
+        ));
+    }
+    Ok(())
+}
+
+fn per_session_reads(r: &ServerReport) -> Vec<u64> {
+    r.sessions
+        .iter()
+        .map(SessionOutcome::total_disk_reads)
+        .collect()
+}
+
+/// Runs the chaos matrix at `scale` with `seed` and returns the
+/// deterministic report text, or the first contract violation.
+pub fn run(seed: u64, scale: f64) -> Result<String, String> {
+    let bed = TestBed::at_scale(scale).map_err(|e| format!("testbed construction failed: {e}"))?;
+    let profiles = profile_queries(&bed).map_err(|e| format!("profiling failed: {e}"))?;
+    let reps = pick_representatives(&profiles);
+    let users = [reps.query1, reps.query2, reps.query3, reps.query4];
+    let specs: Vec<SessionSpec> = users
+        .iter()
+        .map(|&t| {
+            bed.sequence(t, RefinementKind::AddOnly)
+                .map(|seq| SessionSpec::new(seq, Algorithm::Baf))
+        })
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("building sessions: {e}"))?;
+    let total_frames: usize = users
+        .iter()
+        .map(|&t| profiles[t].df_reads as usize)
+        .sum::<usize>()
+        .max(2)
+        / 2;
+    let per_user = (total_frames / users.len()).max(1);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos matrix: seed {seed}, scale {scale}, {} sessions, retry budget {RETRY_BUDGET}",
+        specs.len()
+    );
+    for policy in PolicyKind::ALL {
+        for layout in [
+            PoolLayout::Shared {
+                total_frames,
+                policy,
+                global_history: false,
+            },
+            PoolLayout::Partitioned {
+                frames_each: per_user,
+                policy,
+            },
+        ] {
+            let label = format!("{policy:>8} / {}", layout_name(layout));
+            let clean = SessionServer::new(&bed.index, layout)
+                .run(&specs, Schedule::RoundRobin)
+                .map_err(|e| format!("{label}: fault-free run failed: {e}"))?;
+            let faulty = SessionServer::new(&bed.index, layout)
+                .with_faults(FaultConfig::chaos(seed))
+                .with_fetch_policy(FetchPolicy::retries(RETRY_BUDGET))
+                .run(&specs, Schedule::RoundRobin)
+                .map_err(|e| format!("{label}: chaotic run failed: {e}"))?;
+            bed.index.disk().reset_stats();
+
+            if let Some((i, e)) = faulty.failed_sessions().first() {
+                return Err(format!(
+                    "{label}: session {i} failed under recoverable faults: {e}"
+                ));
+            }
+            check_invariants(&faulty, &label)?;
+            let (clean_reads, faulty_reads) =
+                (per_session_reads(&clean), per_session_reads(&faulty));
+            if clean_reads != faulty_reads {
+                return Err(format!(
+                    "{label}: recovered faults changed per-session reads: \
+                     {clean_reads:?} fault-free vs {faulty_reads:?} chaotic"
+                ));
+            }
+            let f = faulty.fault_stats;
+            if f.total_faults() == 0 {
+                return Err(format!("{label}: seed {seed} injected no faults"));
+            }
+            if faulty.retries == 0 {
+                return Err(format!("{label}: faults never exercised the retry path"));
+            }
+            if faulty.gave_up > 0 {
+                return Err(format!(
+                    "{label}: {} fetches exhausted a budget that covers the cap",
+                    faulty.gave_up
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "{label}: reads {faulty_reads:?}, faults {} ({} transient / {} torn / {} latency), \
+                 retries {}, torn admitted 0, sibling hits {}",
+                f.total_faults(),
+                f.transient_faults,
+                f.torn_faults,
+                f.latency_spikes,
+                faulty.retries,
+                faulty.sibling_hits,
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "all {} combinations recovered; invariants hold under injected failure",
+        PolicyKind::ALL.len() * 2
+    );
+    Ok(out)
+}

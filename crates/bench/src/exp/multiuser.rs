@@ -75,6 +75,11 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<MultiUserSummary> {
     let run_layout = |layout: PoolLayout| -> ExpResult<ServerReport> {
         let server = SessionServer::new(&ctx.bed.index, layout);
         let report = server.run(&specs, Schedule::RoundRobin)?;
+        // This experiment runs fault-free, so a degraded session is a
+        // harness bug, not data — its numbers must never reach the CSV.
+        if let Some((i, e)) = report.failed_sessions().first() {
+            return Err(format!("session {i} failed in a fault-free run: {e}").into());
+        }
         ctx.bed.index.disk().reset_stats();
         Ok(report)
     };

@@ -98,16 +98,22 @@ impl BooleanQuery {
                 if entry.stopped {
                     return Ok(docs);
                 }
-                let misses_before = buffer.stats().misses;
                 for p in 0..entry.n_pages {
-                    let page = buffer.fetch(PageId::new(id, p))?;
+                    let (page, how) = buffer.fetch_traced(PageId::new(id, p))?;
                     stats.pages_processed += 1;
+                    match how {
+                        ir_storage::FetchOutcome::Miss => stats.disk_reads += 1,
+                        ir_storage::FetchOutcome::Borrowed => {
+                            stats.buffer_hits += 1;
+                            stats.borrows += 1;
+                        }
+                        ir_storage::FetchOutcome::Hit => stats.buffer_hits += 1,
+                    }
                     for posting in page.postings() {
                         stats.entries_processed += 1;
                         docs.insert(posting.doc);
                     }
                 }
-                stats.disk_reads += buffer.stats().misses - misses_before;
                 stats.terms_scanned += 1;
                 Ok(docs)
             }

@@ -122,12 +122,13 @@ pub fn evaluate_baf<B: QueryBuffer>(
             if options.baf_force_first_page && t.n_pages > 0 {
                 // §3.2.2 safety fix: touch the first page anyway so a
                 // newly added term is never silently ignored.
-                let misses_before = buffer.stats().misses;
-                buffer.fetch(PageId::new(t.term, 0))?;
+                let (_, how) = buffer.fetch_traced(PageId::new(t.term, 0))?;
                 row.pages_processed = 1;
-                row.pages_read = (buffer.stats().misses - misses_before) as u32;
+                row.pages_read = u32::from(how == ir_storage::FetchOutcome::Miss);
                 stats.pages_processed += 1;
                 stats.disk_reads += u64::from(row.pages_read);
+                stats.buffer_hits += u64::from(how != ir_storage::FetchOutcome::Miss);
+                stats.borrows += u64::from(how == ir_storage::FetchOutcome::Borrowed);
             }
             trace.push(row);
             continue;
@@ -145,6 +146,8 @@ pub fn evaluate_baf<B: QueryBuffer>(
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);
+        stats.buffer_hits += u64::from(out.pages_processed - out.pages_read);
+        stats.borrows += u64::from(out.pages_borrowed);
         stats.entries_processed += out.entries;
         // The estimator's quality, measured: what d_t promised vs what
         // the scan actually pulled from disk.

@@ -76,6 +76,8 @@ pub fn evaluate_df<B: QueryBuffer>(
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);
+        stats.buffer_hits += u64::from(out.pages_processed - out.pages_read);
+        stats.borrows += u64::from(out.pages_borrowed);
         stats.entries_processed += out.entries;
         row.pages_processed = out.pages_processed;
         row.pages_read = out.pages_read;

@@ -4,7 +4,7 @@
 use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
 use ir_observe::{Span, SpanKind};
-use ir_storage::QueryBuffer;
+use ir_storage::{FetchOutcome, QueryBuffer};
 use ir_types::{IrResult, PageId};
 
 /// What one term scan did.
@@ -14,6 +14,9 @@ pub(crate) struct ScanOutcome {
     pub pages_processed: u32,
     /// Of those, pages that came from disk.
     pub pages_read: u32,
+    /// Of those, pages copied from a sibling partition's frames
+    /// (served without a disk read, but not a plain hit either).
+    pub pages_borrowed: u32,
     /// Entries examined (including the terminating one).
     pub entries: u64,
 }
@@ -36,11 +39,19 @@ pub(crate) fn scan_term<B: QueryBuffer>(
 ) -> IrResult<ScanOutcome> {
     let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
     let mut out = ScanOutcome::default();
-    let misses_before = buffer.stats().misses;
     let w_q = term.weight();
     'pages: for p in 0..term.n_pages {
-        let page = buffer.fetch(PageId::new(term.term, p))?;
+        // Per-call outcome attribution: each fetch reports whether it
+        // was served from this caller's frames, a sibling's, or disk —
+        // so the counts stay per-query even when other sessions drive
+        // the same pool concurrently (pool-wide miss deltas don't).
+        let (page, how) = buffer.fetch_traced(PageId::new(term.term, p))?;
         out.pages_processed += 1;
+        match how {
+            FetchOutcome::Miss => out.pages_read += 1,
+            FetchOutcome::Borrowed => out.pages_borrowed += 1,
+            FetchOutcome::Hit => {}
+        }
         for posting in page.postings() {
             out.entries += 1;
             let f = f64::from(posting.freq);
@@ -67,7 +78,6 @@ pub(crate) fn scan_term<B: QueryBuffer>(
             }
         }
     }
-    out.pages_read = (buffer.stats().misses - misses_before) as u32;
     if let Some(s) = span.as_mut() {
         s.attr("pages_processed", i64::from(out.pages_processed));
         s.attr("pages_read", i64::from(out.pages_read));

@@ -132,7 +132,6 @@ impl SearchEngine {
     /// row to the engine's [cost ledger](SearchEngine::ledger).
     pub fn search_terms(&mut self, terms: &[(String, u32)]) -> IrResult<QueryResult> {
         let query = Query::from_named(&self.index, terms);
-        let borrows_before = self.buffer.borrows();
         let started = std::time::Instant::now();
         let result = evaluate(
             self.config.algorithm,
@@ -148,13 +147,8 @@ impl SearchEngine {
         )?;
         let eval_us = started.elapsed().as_micros() as u64;
         let step = self.ledger.len() as u32;
-        self.ledger.record(query_cost(
-            0,
-            step,
-            &result.stats,
-            self.buffer.borrows() - borrows_before,
-            eval_us,
-        ));
+        self.ledger
+            .record(query_cost(0, step, &result.stats, eval_us));
         Ok(result)
     }
 
@@ -307,10 +301,14 @@ mod tests {
         assert_eq!(ledger.entries[1].step, 1);
         assert_eq!(ledger.entries[0].disk_reads, a.stats.disk_reads);
         assert_eq!(ledger.entries[1].disk_reads, b.stats.disk_reads);
-        assert_eq!(
-            ledger.entries[1].buffer_hits,
-            b.stats.pages_processed - b.stats.disk_reads
-        );
+        assert_eq!(ledger.entries[1].buffer_hits, b.stats.buffer_hits);
+        for (row, r) in ledger.entries.iter().zip([&a, &b]) {
+            assert_eq!(
+                row.disk_reads + row.buffer_hits,
+                r.stats.pages_processed,
+                "hits + misses must cover every processed page"
+            );
+        }
         let sessions = ledger.session_costs();
         assert_eq!(sessions.len(), 1);
         assert_eq!(sessions[0].queries, 2);

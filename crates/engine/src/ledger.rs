@@ -18,11 +18,12 @@ pub struct QueryCost {
     pub step: u32,
     /// Pages read from disk (the paper's headline cost).
     pub disk_reads: u64,
-    /// Pages served from the buffer pool (processed − read).
+    /// Pages served from the buffer pool without a disk read. Counted
+    /// per fetch by the evaluator, so the figure is exact under any
+    /// schedule: `disk_reads + buffer_hits = pages_processed`.
     pub buffer_hits: u64,
-    /// Pages borrowed read-only from sibling partitions. Exact under
-    /// a deterministic schedule; under free-running interleavings a
-    /// concurrent session's borrows can land in this query's window.
+    /// Of `buffer_hits`, pages borrowed read-only from sibling
+    /// partitions (also counted per fetch).
     pub borrows: u64,
     /// Evaluation wall time in microseconds.
     pub eval_us: u64,
@@ -137,23 +138,16 @@ impl CostLedger {
 }
 
 /// Builds a [`QueryCost`] from one evaluation's [`EvalStats`] plus the
-/// costs the stats cannot see (wall time, borrow delta).
-pub fn query_cost(
-    session: u32,
-    step: u32,
-    stats: &ir_core::EvalStats,
-    borrows: u64,
-    eval_us: u64,
-) -> QueryCost {
+/// one cost the stats cannot see (wall time). Hits and borrows come
+/// straight from the evaluator's per-fetch counters, so the row is
+/// exact even when other sessions drive the same pool concurrently.
+pub fn query_cost(session: u32, step: u32, stats: &ir_core::EvalStats, eval_us: u64) -> QueryCost {
     QueryCost {
         session,
         step,
         disk_reads: stats.disk_reads,
-        // Saturating: under free-running schedules a concurrent
-        // session's misses can land in this query's read-attribution
-        // window, pushing disk_reads past pages_processed.
-        buffer_hits: stats.pages_processed.saturating_sub(stats.disk_reads),
-        borrows,
+        buffer_hits: stats.buffer_hits,
+        borrows: stats.borrows,
         eval_us,
         candidates: stats.peak_accumulators as u64,
         estimated_reads: stats.baf_estimated_reads,
@@ -196,6 +190,28 @@ mod tests {
         assert_eq!(sessions[0].peak_candidates, 60);
         assert_eq!(sessions[1].queries, 1);
         assert_eq!(sessions[1].peak_candidates, 90);
+    }
+
+    #[test]
+    fn query_cost_sources_hits_from_the_evaluator_not_subtraction() {
+        // The evaluator counts hits per fetch; the ledger must copy
+        // that figure, not infer it from pages_processed − disk_reads.
+        let stats = ir_core::EvalStats {
+            disk_reads: 3,
+            pages_processed: 10,
+            buffer_hits: 7,
+            borrows: 2,
+            peak_accumulators: 5,
+            ..ir_core::EvalStats::default()
+        };
+        let row = query_cost(4, 1, &stats, 123);
+        assert_eq!(row.buffer_hits, stats.buffer_hits);
+        assert_eq!(row.borrows, stats.borrows);
+        assert_eq!(
+            row.disk_reads + row.buffer_hits,
+            stats.pages_processed,
+            "every processed page is exactly one of: disk read, buffer hit"
+        );
     }
 
     #[test]

@@ -11,19 +11,28 @@
 //! contention pattern a time-sliced multi-user IR server produces.
 //!
 //! Two schedules are offered. [`Schedule::FreeRunning`] lets the OS
-//! interleave sessions arbitrarily — the realistic mode, where only
-//! invariants (not exact counts) are stable. [`Schedule::RoundRobin`]
-//! passes a turn token so refinement `k` of user `u` always runs after
-//! refinement `k` of user `u − 1`: still multi-threaded, but the page
-//! request stream is deterministic, which is what a reproducible
-//! experiment needs.
+//! interleave sessions arbitrarily — the realistic mode. Per-session
+//! counters stay exact even here: every fetch reports its own outcome
+//! (hit, miss, borrow) to the calling session inside the fetch's
+//! critical section, so attribution never leaks across sessions.
+//! [`Schedule::RoundRobin`] additionally passes a turn token so
+//! refinement `k` of user `u` always runs after refinement `k` of user
+//! `u − 1`: the page request stream itself becomes deterministic,
+//! which is what a reproducible experiment needs.
 //!
-//! A caveat on attribution: each session's `disk_reads` counter is
-//! measured as a pool-miss delta around its own scans, so under
-//! [`Schedule::FreeRunning`] a concurrent session's misses can land in
-//! the window and inflate it. Pool-level counters are always exact;
-//! per-session ones are exact under [`Schedule::RoundRobin`], where
-//! queries never overlap.
+//! ## Fault tolerance
+//!
+//! The server is built to degrade, not collapse:
+//!
+//! * The store can be wrapped in a seeded [`FaultStore`]
+//!   ([`SessionServer::with_faults`]) injecting transient read errors,
+//!   torn pages and latency spikes; sessions then ride the pool's
+//!   bounded retry ([`SessionServer::with_fetch_policy`]).
+//! * A session that hits a terminal [`IrError`] — or panics — is
+//!   reported as [`SessionOutcome::Failed`] while every other session
+//!   runs to completion. The round-robin turnstile uses poison-free
+//!   `parking_lot` primitives and failed sessions keep taking their
+//!   turns, so no panic can wedge the schedule.
 
 use crate::ledger::{query_cost, CostLedger, QueryCost};
 use ir_core::eval::{evaluate, EvalOptions};
@@ -31,12 +40,18 @@ use ir_core::{Algorithm, Query, RefinementSequence, SequenceOutcome, StepOutcome
 use ir_index::InvertedIndex;
 use ir_observe::SpanKind;
 use ir_storage::{
-    BufferStats, DiskSim, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
+    BufferManager, BufferStats, DiskSim, FaultConfig, FaultStats, FaultStore, FetchOutcome,
+    FetchPolicy, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
     SharedBufferManager, SharedPartitionedBuffer,
 };
 use ir_types::{IrError, IrResult, PageId, TermId};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+/// The store every server pool reads from: the simulated disk behind a
+/// (by default disabled) fault-injection layer.
+type ServerStore = FaultStore<Arc<DiskSim>>;
 
 /// How the server provisions buffer memory for its sessions.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +82,8 @@ pub enum PoolLayout {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Schedule {
     /// No coordination: the OS scheduler interleaves page requests.
-    /// Realistic, but exact counters vary run to run.
+    /// Realistic; per-session counters stay exact (per-fetch outcome
+    /// attribution), but the request stream varies run to run.
     FreeRunning,
     /// Refinements proceed in lockstep round-robin order (user 0's
     /// step `k`, then user 1's step `k`, ...): deterministic request
@@ -88,6 +104,11 @@ pub struct SessionSpec {
     /// intercepts the announcement and merges it into the global
     /// history before it reaches the pool.
     pub options: EvalOptions,
+    /// Chaos hook: panic deliberately before evaluating this step
+    /// (0-based). The panic is caught by the session guard and must
+    /// degrade to [`SessionOutcome::Failed`] without disturbing the
+    /// other sessions — the property the chaos suite asserts.
+    pub chaos_panic_at: Option<u32>,
 }
 
 impl SessionSpec {
@@ -97,7 +118,52 @@ impl SessionSpec {
             sequence,
             algorithm,
             options: EvalOptions::default(),
+            chaos_panic_at: None,
         }
+    }
+}
+
+/// How one session's run ended.
+#[derive(Clone, Debug)]
+pub enum SessionOutcome {
+    /// Every refinement evaluated.
+    Completed(SequenceOutcome),
+    /// The session hit a terminal error (or panicked) and stopped
+    /// evaluating; the steps completed before the failure are kept.
+    Failed {
+        /// Outcomes of the steps that finished before the failure.
+        completed: SequenceOutcome,
+        /// What ended the session.
+        error: IrError,
+    },
+}
+
+impl SessionOutcome {
+    /// The steps this session did evaluate (all of them when
+    /// [`Completed`](SessionOutcome::Completed)).
+    pub fn sequence(&self) -> &SequenceOutcome {
+        match self {
+            SessionOutcome::Completed(s) => s,
+            SessionOutcome::Failed { completed, .. } => completed,
+        }
+    }
+
+    /// The terminal error, if the session failed.
+    pub fn error(&self) -> Option<&IrError> {
+        match self {
+            SessionOutcome::Completed(_) => None,
+            SessionOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// True when the session did not finish its sequence.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, SessionOutcome::Failed { .. })
+    }
+
+    /// Disk reads over the evaluated steps.
+    pub fn total_disk_reads(&self) -> u64 {
+        self.sequence().total_disk_reads()
     }
 }
 
@@ -105,7 +171,7 @@ impl SessionSpec {
 #[derive(Clone, Debug)]
 pub struct ServerReport {
     /// Per-session outcomes, in spec order.
-    pub sessions: Vec<SequenceOutcome>,
+    pub sessions: Vec<SessionOutcome>,
     /// Pool counters aggregated over every session's traffic.
     pub pool_stats: BufferStats,
     /// Disk reads avoided by cross-partition borrowing (always 0 for
@@ -119,9 +185,18 @@ pub struct ServerReport {
     /// run. Always equals `final_occupancy`: every frame holds exactly
     /// one page of exactly one term's list.
     pub resident_term_pages: u64,
+    /// Store reads re-attempted under the pool's [`FetchPolicy`].
+    pub retries: u64,
+    /// Fetches abandoned after exhausting the retry budget.
+    pub gave_up: u64,
+    /// Checksum-failing (torn) deliveries the pool rejected.
+    pub torn_pages: u64,
+    /// What the fault-injection layer did (all-zero when faults are
+    /// disabled).
+    pub fault_stats: FaultStats,
     /// One [`QueryCost`] row per evaluated refinement, across every
-    /// session. Per-row borrow attribution is exact under
-    /// [`Schedule::RoundRobin`]; totals are always exact.
+    /// session. Hits, misses and borrows are attributed per fetch, so
+    /// rows are exact under either schedule.
     pub ledger: CostLedger,
 }
 
@@ -130,14 +205,25 @@ impl ServerReport {
     pub fn total_disk_reads(&self) -> u64 {
         self.sessions
             .iter()
-            .map(SequenceOutcome::total_disk_reads)
+            .map(SessionOutcome::total_disk_reads)
             .sum()
+    }
+
+    /// The sessions that failed, as `(index, error)` pairs.
+    pub fn failed_sessions(&self) -> Vec<(usize, &IrError)> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.error().map(|e| (i, e)))
+            .collect()
     }
 }
 
 /// Turn token for [`Schedule::RoundRobin`]: thread `u` runs global
 /// turn `step · n + u`, so queries execute in the exact order the
-/// single-threaded round-robin driver would submit them.
+/// single-threaded round-robin driver would submit them. Poison-free
+/// (`parking_lot`): a session that panics mid-turn cannot wedge the
+/// waiters behind it.
 #[derive(Debug, Default)]
 struct Turnstile {
     turn: Mutex<usize>,
@@ -146,14 +232,14 @@ struct Turnstile {
 
 impl Turnstile {
     fn wait_for(&self, t: usize) {
-        let mut turn = self.turn.lock().expect("turnstile poisoned");
+        let mut turn = self.turn.lock();
         while *turn < t {
-            turn = self.cv.wait(turn).expect("turnstile poisoned");
+            turn = self.cv.wait(turn);
         }
     }
 
     fn advance(&self) {
-        *self.turn.lock().expect("turnstile poisoned") += 1;
+        *self.turn.lock() += 1;
         self.cv.notify_all();
     }
 }
@@ -167,13 +253,13 @@ type WeightRegistry = Mutex<Vec<HashMap<TermId, f64>>>;
 /// The buffer view one session thread evaluates against.
 #[derive(Debug)]
 enum SessionBuffer {
-    Shared(SharedBufferManager<Arc<DiskSim>>),
+    Shared(SharedBufferManager<Arc<ServerStore>>),
     GlobalShared {
-        pool: SharedBufferManager<Arc<DiskSim>>,
+        pool: SharedBufferManager<Arc<ServerStore>>,
         registry: Arc<WeightRegistry>,
         user: usize,
     },
-    Partition(PartitionHandle<DiskSim>),
+    Partition(PartitionHandle<ServerStore>),
 }
 
 impl QueryBuffer for SessionBuffer {
@@ -182,6 +268,14 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.fetch(id),
             SessionBuffer::GlobalShared { pool, .. } => pool.fetch(id),
             SessionBuffer::Partition(h) => h.fetch(id),
+        }
+    }
+
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        match self {
+            SessionBuffer::Shared(p) => p.fetch_traced(id),
+            SessionBuffer::GlobalShared { pool, .. } => pool.fetch_traced(id),
+            SessionBuffer::Partition(h) => h.fetch_traced(id),
         }
     }
 
@@ -202,7 +296,7 @@ impl QueryBuffer for SessionBuffer {
                 user,
             } => {
                 let merged = {
-                    let mut reg = registry.lock().expect("weight registry poisoned");
+                    let mut reg = registry.lock();
                     reg[*user] = weights.clone();
                     let mut merged: HashMap<TermId, f64> = HashMap::new();
                     for per_user in reg.iter() {
@@ -242,10 +336,21 @@ impl QueryBuffer for SessionBuffer {
 #[derive(Debug)]
 enum ServerPool {
     Shared {
-        pool: SharedBufferManager<Arc<DiskSim>>,
+        pool: SharedBufferManager<Arc<ServerStore>>,
         registry: Option<Arc<WeightRegistry>>,
     },
-    Partitioned(SharedPartitionedBuffer<DiskSim>),
+    Partitioned(SharedPartitionedBuffer<ServerStore>),
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Runs N refinement sessions concurrently against one buffer layout.
@@ -258,12 +363,32 @@ enum ServerPool {
 pub struct SessionServer<'a> {
     index: &'a InvertedIndex,
     layout: PoolLayout,
+    faults: FaultConfig,
+    fetch_policy: FetchPolicy,
 }
 
 impl<'a> SessionServer<'a> {
-    /// A server over `index` with the given pool layout.
+    /// A server over `index` with the given pool layout, faults
+    /// disabled and no fetch retries.
     pub fn new(index: &'a InvertedIndex, layout: PoolLayout) -> Self {
-        SessionServer { index, layout }
+        SessionServer {
+            index,
+            layout,
+            faults: FaultConfig::DISABLED,
+            fetch_policy: FetchPolicy::NO_RETRY,
+        }
+    }
+
+    /// Injects seeded faults between the pool and the simulated disk.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry/backoff policy every pool fetch runs under.
+    pub fn with_fetch_policy(mut self, policy: FetchPolicy) -> Self {
+        self.fetch_policy = policy;
+        self
     }
 
     /// The layout sessions run against.
@@ -274,13 +399,16 @@ impl<'a> SessionServer<'a> {
     /// Runs one session per spec, all concurrently, and reports the
     /// combined outcome.
     ///
+    /// A session that hits an evaluation error or panics is degraded
+    /// to [`SessionOutcome::Failed`]; it stops evaluating but keeps
+    /// taking its round-robin turns, so the other sessions always run
+    /// to completion and the report is still `Ok`.
+    ///
     /// # Errors
-    /// Pool construction errors ([`IrError::EmptyBufferPool`]) and the
-    /// first evaluation error any session hit. A failed session stops
-    /// evaluating but keeps taking its round-robin turns, so the other
-    /// sessions always run to completion.
+    /// Pool construction errors only ([`IrError::EmptyBufferPool`]).
     pub fn run(&self, specs: &[SessionSpec], schedule: Schedule) -> IrResult<ServerReport> {
         let n = specs.len();
+        let store = Arc::new(FaultStore::new(Arc::clone(self.index.disk()), self.faults));
         if n == 0 {
             return Ok(ServerReport {
                 sessions: Vec::new(),
@@ -289,6 +417,10 @@ impl<'a> SessionServer<'a> {
                 total_frames: 0,
                 final_occupancy: 0,
                 resident_term_pages: 0,
+                retries: 0,
+                gave_up: 0,
+                torn_pages: 0,
+                fault_stats: FaultStats::default(),
                 ledger: CostLedger::new(),
             });
         }
@@ -298,7 +430,8 @@ impl<'a> SessionServer<'a> {
                 policy,
                 global_history,
             } => {
-                let bm = self.index.make_buffer(total_frames, policy)?;
+                let mut bm = BufferManager::new(Arc::clone(&store), total_frames, policy)?;
+                bm.set_fetch_policy(self.fetch_policy);
                 let registry = global_history
                     .then(|| Arc::new(Mutex::new(vec![HashMap::<TermId, f64>::new(); n])));
                 (
@@ -313,8 +446,8 @@ impl<'a> SessionServer<'a> {
                 frames_each,
                 policy,
             } => {
-                let pb =
-                    PartitionedBuffer::new(Arc::clone(self.index.disk()), n, frames_each, policy)?;
+                let mut pb = PartitionedBuffer::new(Arc::clone(&store), n, frames_each, policy)?;
+                pb.set_fetch_policy(self.fetch_policy);
                 (
                     ServerPool::Partitioned(SharedPartitionedBuffer::new(pb)),
                     frames_each * n,
@@ -328,7 +461,7 @@ impl<'a> SessionServer<'a> {
             .unwrap_or(0);
         let turns = Turnstile::default();
         let index = self.index;
-        type SessionRun = IrResult<(SequenceOutcome, Vec<QueryCost>)>;
+        type SessionRun = (SequenceOutcome, Vec<QueryCost>, Option<IrError>);
         let results: Vec<SessionRun> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (user, spec) in specs.iter().enumerate() {
@@ -341,7 +474,10 @@ impl<'a> SessionServer<'a> {
                         },
                         None => SessionBuffer::Shared(pool.clone()),
                     },
-                    ServerPool::Partitioned(p) => SessionBuffer::Partition(p.handle(user)),
+                    ServerPool::Partitioned(p) => SessionBuffer::Partition(
+                        p.handle(user)
+                            .expect("one partition per session by construction"),
+                    ),
                 };
                 let turns = &turns;
                 handles.push(scope.spawn(move |_| {
@@ -357,7 +493,6 @@ impl<'a> SessionServer<'a> {
                         }
                         if failure.is_none() {
                             if let Some(terms) = spec.sequence.steps.get(step) {
-                                let borrows_before = buffer.borrows();
                                 let started = std::time::Instant::now();
                                 // A panic inside evaluation must not
                                 // strand the other sessions at the
@@ -365,6 +500,9 @@ impl<'a> SessionServer<'a> {
                                 // session like any other error.
                                 let outcome =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        if spec.chaos_panic_at == Some(step as u32) {
+                                            panic!("chaos: injected panic at step {step}");
+                                        }
                                         Query::from_ids(index, terms).and_then(|q| {
                                             evaluate(
                                                 spec.algorithm,
@@ -375,18 +513,17 @@ impl<'a> SessionServer<'a> {
                                             )
                                         })
                                     }))
-                                    .unwrap_or_else(|_| {
-                                        Err(IrError::InvalidConfig(
-                                            "session evaluation panicked".into(),
-                                        ))
-                                    });
+                                    .unwrap_or_else(
+                                        |payload| {
+                                            Err(IrError::SessionPanicked(panic_message(payload)))
+                                        },
+                                    );
                                 match outcome {
                                     Ok(result) => {
                                         costs.push(query_cost(
                                             user as u32,
                                             step as u32,
                                             &result.stats,
-                                            buffer.borrows() - borrows_before,
                                             started.elapsed().as_micros() as u64,
                                         ));
                                         steps.push(StepOutcome {
@@ -407,17 +544,18 @@ impl<'a> SessionServer<'a> {
                         "disk_reads",
                         steps.iter().map(|s| s.stats.disk_reads).sum::<u64>() as i64,
                     );
-                    match failure {
-                        Some(e) => Err(e),
-                        None => Ok((SequenceOutcome { steps }, costs)),
-                    }
+                    (SequenceOutcome { steps }, costs, failure)
                 }));
             }
             handles
                 .into_iter()
                 .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(IrError::InvalidConfig("session thread panicked".into()))
+                    h.join().unwrap_or_else(|payload| {
+                        (
+                            SequenceOutcome { steps: Vec::new() },
+                            Vec::new(),
+                            Some(IrError::SessionPanicked(panic_message(payload))),
+                        )
                     })
                 })
                 .collect()
@@ -425,19 +563,41 @@ impl<'a> SessionServer<'a> {
         .expect("session scope cannot fail: all threads are joined");
         let mut sessions = Vec::with_capacity(n);
         let mut ledger = CostLedger::new();
-        for result in results {
-            let (outcome, costs) = result?;
-            sessions.push(outcome);
+        for (outcome, costs, failure) in results {
             for cost in costs {
                 ledger.record(cost);
             }
+            sessions.push(match failure {
+                None => SessionOutcome::Completed(outcome),
+                Some(error) => SessionOutcome::Failed {
+                    completed: outcome,
+                    error,
+                },
+            });
         }
         let n_terms = self.index.lexicon().len() as u32;
         let all_terms = (0..n_terms).map(TermId);
-        let (pool_stats, sibling_hits, final_occupancy, resident_term_pages) = match &pool {
+        let (
+            pool_stats,
+            sibling_hits,
+            final_occupancy,
+            resident_term_pages,
+            retries,
+            gave_up,
+            torn,
+        ) = match &pool {
             ServerPool::Shared { pool, .. } => pool.with(|bm| {
                 let b_t: u64 = all_terms.map(|t| u64::from(bm.resident_pages(t))).sum();
-                (bm.stats(), 0, bm.len(), b_t)
+                let m = bm.metrics();
+                (
+                    bm.stats(),
+                    0,
+                    bm.len(),
+                    b_t,
+                    m.retries.get(),
+                    m.gave_up.get(),
+                    m.torn_pages.get(),
+                )
             }),
             ServerPool::Partitioned(p) => p.with(|pb| {
                 let b_t: u64 = all_terms
@@ -447,7 +607,15 @@ impl<'a> SessionServer<'a> {
                             .sum::<u64>()
                     })
                     .sum();
-                (pb.total_stats(), pb.sibling_hits(), pb.occupancy(), b_t)
+                (
+                    pb.total_stats(),
+                    pb.sibling_hits(),
+                    pb.occupancy(),
+                    b_t,
+                    pb.retries(),
+                    pb.gave_up(),
+                    pb.torn_pages(),
+                )
             }),
         };
         Ok(ServerReport {
@@ -457,6 +625,10 @@ impl<'a> SessionServer<'a> {
             total_frames,
             final_occupancy,
             resident_term_pages,
+            retries,
+            gave_up,
+            torn_pages: torn,
+            fault_stats: store.stats(),
             ledger,
         })
     }
@@ -539,15 +711,17 @@ mod tests {
         );
         let report = server.run(&specs(&idx), Schedule::FreeRunning).unwrap();
         assert_eq!(report.sessions.len(), 4);
-        assert!(report.sessions.iter().all(|s| s.steps.len() == 3));
+        assert!(report
+            .sessions
+            .iter()
+            .all(|s| !s.is_failed() && s.sequence().steps.len() == 3));
         let s = report.pool_stats;
         assert_eq!(s.hits + s.misses, s.requests, "{s:?}");
         assert!(report.final_occupancy <= report.total_frames);
         assert_eq!(report.resident_term_pages, report.final_occupancy as u64);
-        // Every session did real work. (Per-session read attribution
-        // is delta-based and only exact under RoundRobin — see below —
-        // so FreeRunning checks pool-level invariants only.)
-        assert!(report.total_disk_reads() > 0);
+        // Per-fetch outcome attribution: even under FreeRunning the
+        // per-session read counts carve up the pool's misses exactly.
+        assert_eq!(report.pool_stats.misses, report.total_disk_reads());
         assert!(s.misses > 0);
     }
 
@@ -563,8 +737,6 @@ mod tests {
             },
         );
         let report = server.run(&specs(&idx), Schedule::RoundRobin).unwrap();
-        // With queries serialized, the per-session miss deltas carve
-        // the pool's miss count up exactly.
         assert_eq!(report.pool_stats.misses, report.total_disk_reads());
         assert_eq!(
             report.pool_stats.hits + report.pool_stats.misses,
@@ -592,7 +764,7 @@ mod tests {
             let reads = |r: &ServerReport| {
                 r.sessions
                     .iter()
-                    .map(SequenceOutcome::total_disk_reads)
+                    .map(SessionOutcome::total_disk_reads)
                     .collect::<Vec<_>>()
             };
             assert_eq!(reads(&a), reads(&b), "{layout:?}");
@@ -660,13 +832,20 @@ mod tests {
         assert_eq!(report.ledger.total_disk_reads(), report.total_disk_reads());
         // Rows agree with the per-session outcomes they were built from.
         for row in &report.ledger.entries {
-            let stats = &report.sessions[row.session as usize].steps[row.step as usize].stats;
+            let stats =
+                &report.sessions[row.session as usize].sequence().steps[row.step as usize].stats;
             assert_eq!(row.disk_reads, stats.disk_reads);
-            assert_eq!(row.buffer_hits, stats.pages_processed - stats.disk_reads);
+            assert_eq!(row.buffer_hits, stats.buffer_hits);
+            assert_eq!(row.borrows, stats.borrows);
+            assert_eq!(
+                row.disk_reads + row.buffer_hits,
+                stats.pages_processed,
+                "hits + misses must cover every processed page"
+            );
             assert_eq!(row.candidates, stats.peak_accumulators as u64);
         }
-        // Under RoundRobin the per-row borrow deltas carve up the
-        // pool's borrow total exactly.
+        // Per-fetch borrow attribution carves up the pool's borrow
+        // total exactly.
         let total_borrows: u64 = report.ledger.entries.iter().map(|e| e.borrows).sum();
         assert_eq!(total_borrows, report.sibling_hits);
         assert!(total_borrows > 0, "overlapping queries must borrow");
@@ -705,8 +884,86 @@ mod tests {
                 global_history: false,
             },
         );
-        // The bad session errors, but the run terminates (no deadlock
-        // on the turnstile) and reports the error.
-        assert!(server.run(&bad, Schedule::RoundRobin).is_err());
+        // The bad session degrades to Failed (keeping its completed
+        // step); the others run to completion and the report is Ok.
+        let report = server.run(&bad, Schedule::RoundRobin).unwrap();
+        assert_eq!(report.failed_sessions().len(), 1);
+        assert!(report.sessions[2].is_failed());
+        assert_eq!(report.sessions[2].sequence().steps.len(), 1);
+        for (i, s) in report.sessions.iter().enumerate() {
+            if i != 2 {
+                assert!(!s.is_failed());
+                assert_eq!(s.sequence().steps.len(), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_session_degrades_to_failed_outcome() {
+        let idx = index();
+        let mut chaotic = specs(&idx);
+        chaotic[1].chaos_panic_at = Some(1);
+        let server = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 8,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        );
+        let report = server.run(&chaotic, Schedule::RoundRobin).unwrap();
+        let failed = report.failed_sessions();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].0, 1);
+        assert!(matches!(failed[0].1, IrError::SessionPanicked(_)));
+        assert_eq!(report.sessions[1].sequence().steps.len(), 1);
+        for (i, s) in report.sessions.iter().enumerate() {
+            if i != 1 {
+                assert!(!s.is_failed(), "session {i} must finish: {:?}", s.error());
+                assert_eq!(s.sequence().steps.len(), 3);
+            }
+        }
+        // The pool stays consistent after the panic.
+        let s = report.pool_stats;
+        assert_eq!(s.hits + s.misses, s.requests);
+        assert!(report.final_occupancy <= report.total_frames);
+    }
+
+    #[test]
+    fn recoverable_faults_retry_to_the_same_answer() {
+        let idx = index();
+        let layout = PoolLayout::Shared {
+            total_frames: 12,
+            policy: PolicyKind::Lru,
+            global_history: false,
+        };
+        let clean = SessionServer::new(&idx, layout)
+            .run(&specs(&idx), Schedule::RoundRobin)
+            .unwrap();
+        let faulty = SessionServer::new(&idx, layout)
+            .with_faults(FaultConfig {
+                seed: 77,
+                transient_rate: 0.3,
+                torn_rate: 0.2,
+                max_consecutive_faults: 3,
+                ..FaultConfig::DISABLED
+            })
+            .with_fetch_policy(FetchPolicy::retries(4))
+            .run(&specs(&idx), Schedule::RoundRobin)
+            .unwrap();
+        assert!(faulty.sessions.iter().all(|s| !s.is_failed()));
+        assert!(faulty.retries > 0, "this seed must exercise retries");
+        assert_eq!(faulty.gave_up, 0, "budget must absorb every fault");
+        assert!(faulty.fault_stats.total_faults() > 0);
+        // Retries are invisible to the paper's metrics: same request
+        // stream, same per-session reads as the fault-free run.
+        let reads = |r: &ServerReport| {
+            r.sessions
+                .iter()
+                .map(SessionOutcome::total_disk_reads)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(reads(&clean), reads(&faulty));
+        assert_eq!(clean.pool_stats.misses, faulty.pool_stats.misses);
     }
 }

@@ -10,6 +10,85 @@ use crate::stats::{BufferMetrics, BufferStats};
 use ir_types::{IrError, IrResult, PageId, TermId};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Duration;
+
+/// How a completed fetch was served — reported per call so each
+/// session can attribute its own hits and reads exactly, with no
+/// pool-delta measurement (which mis-attributes under concurrency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchOutcome {
+    /// Served from a resident frame.
+    Hit,
+    /// Read from the store into a frame (a disk read).
+    Miss,
+    /// Served from a copy of a sibling partition's frame, without a
+    /// store read (partitioned pools only).
+    Borrowed,
+}
+
+/// Wait strategy between read retries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backoff {
+    /// Retry immediately.
+    #[default]
+    None,
+    /// Sleep a fixed duration before every retry.
+    Fixed(Duration),
+    /// Sleep `base · 2^(attempt−1)`, capped at `cap`.
+    Exponential {
+        /// Delay before the first retry.
+        base: Duration,
+        /// Upper bound on any single delay.
+        cap: Duration,
+    },
+}
+
+impl Backoff {
+    /// The delay before retry number `attempt` (1-based); `None` for
+    /// an immediate retry.
+    fn delay(&self, attempt: u32) -> Option<Duration> {
+        match *self {
+            Backoff::None => None,
+            Backoff::Fixed(d) => (!d.is_zero()).then_some(d),
+            Backoff::Exponential { base, cap } => {
+                if base.is_zero() {
+                    return None;
+                }
+                let factor = 1u32 << attempt.saturating_sub(1).min(16);
+                Some((base * factor).min(cap))
+            }
+        }
+    }
+}
+
+/// Bounded retry policy for page reads that fail transiently
+/// ([`IrError::is_transient`]: injected transient errors and torn
+/// pages). The default is [`NO_RETRY`](FetchPolicy::NO_RETRY) — the
+/// historical behaviour, where the first failure propagates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FetchPolicy {
+    /// Retries after the initial attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Wait strategy between attempts.
+    pub backoff: Backoff,
+}
+
+impl FetchPolicy {
+    /// Fail on the first error; no retries (the default).
+    pub const NO_RETRY: FetchPolicy = FetchPolicy {
+        max_retries: 0,
+        backoff: Backoff::None,
+    };
+
+    /// Retry up to `n` times with no delay — what a simulator-backed
+    /// test wants (faults are injected, not time-dependent).
+    pub fn retries(n: u32) -> FetchPolicy {
+        FetchPolicy {
+            max_retries: n,
+            backoff: Backoff::None,
+        }
+    }
+}
 
 /// A buffer pool of `capacity` page frames over a page store.
 ///
@@ -64,6 +143,7 @@ pub struct BufferManager<S: PageStore> {
     policy_kind: PolicyKind,
     resident_per_term: HashMap<TermId, u32>,
     pins: HashMap<PageId, u32>,
+    fetch_policy: FetchPolicy,
     metrics: BufferMetrics,
     observer: Option<Box<dyn BufferObserver>>,
 }
@@ -85,6 +165,7 @@ impl<S: PageStore> BufferManager<S> {
             policy_kind: policy,
             resident_per_term: HashMap::new(),
             pins: HashMap::new(),
+            fetch_policy: FetchPolicy::NO_RETRY,
             metrics: BufferMetrics::new(),
             observer: None,
         })
@@ -92,13 +173,19 @@ impl<S: PageStore> BufferManager<S> {
 
     /// Fetches a page through the pool, counting a hit or a disk read.
     pub fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        self.fetch_traced(id).map(|(page, _)| page)
+    }
+
+    /// [`fetch`](Self::fetch), also reporting how the request was
+    /// served — the per-call attribution concurrent sessions need.
+    pub fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
         self.metrics.requests.inc();
         if let Some(page) = self.frames.get(&id) {
             let page = page.clone();
             self.metrics.hits.inc();
             self.policy.on_hit(&page);
             self.notify(BufferEvent::Hit(id));
-            return Ok(page);
+            return Ok((page, FetchOutcome::Hit));
         }
         // Miss: read the replacement first, then make room. A failed
         // read therefore leaves the pool exactly as it was — the old
@@ -107,12 +194,55 @@ impl<S: PageStore> BufferManager<S> {
         if self.frames.len() >= self.capacity && !self.has_evictable_frame() {
             return Err(IrError::NoEvictableFrame);
         }
-        let page = self.store.read_page(id)?;
+        let page = self.read_with_retry(id)?;
         while self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
         self.install(page.clone(), false);
+        Ok((page, FetchOutcome::Miss))
+    }
+
+    /// One store read, rejecting torn deliveries: a page whose content
+    /// fails checksum verification never reaches a frame. Verification
+    /// re-hashes the whole page, so it only runs when the store can
+    /// actually tear ([`PageStore::can_tear`]) — a clean store's reads
+    /// stay checksum-free.
+    fn read_verified(&mut self, id: PageId) -> IrResult<Page> {
+        let page = self.store.read_page(id)?;
+        if self.store.can_tear() && !page.is_intact() {
+            self.metrics.torn_pages.inc();
+            self.notify(BufferEvent::Torn(id));
+            return Err(IrError::TornPage { page: id });
+        }
         Ok(page)
+    }
+
+    /// Reads `id` under the pool's [`FetchPolicy`]: transient failures
+    /// ([`IrError::is_transient`]) are retried up to `max_retries`
+    /// times with the configured backoff; terminal errors and
+    /// exhausted budgets propagate.
+    fn read_with_retry(&mut self, id: PageId) -> IrResult<Page> {
+        let policy = self.fetch_policy;
+        let mut attempt = 0u32;
+        loop {
+            match self.read_verified(id) {
+                Ok(page) => return Ok(page),
+                Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.metrics.retries.inc();
+                    self.notify(BufferEvent::Retry(id));
+                    if let Some(d) = policy.backoff.delay(attempt) {
+                        std::thread::sleep(d);
+                    }
+                }
+                Err(e) => {
+                    if e.is_transient() {
+                        self.metrics.gave_up.inc();
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Inserts `page` into a frame **without a store read** — the
@@ -235,6 +365,25 @@ impl<S: PageStore> BufferManager<S> {
     #[inline]
     pub fn peek(&self, id: PageId) -> Option<Page> {
         self.frames.get(&id).cloned()
+    }
+
+    /// Every resident page id, sorted — the pool's frame contents as a
+    /// comparable value (chaos and property tests diff two pools with
+    /// it).
+    pub fn resident_ids(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self.frames.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Sets the retry policy applied to store reads on the miss path.
+    pub fn set_fetch_policy(&mut self, policy: FetchPolicy) {
+        self.fetch_policy = policy;
+    }
+
+    /// The retry policy applied to store reads.
+    pub fn fetch_policy(&self) -> FetchPolicy {
+        self.fetch_policy
     }
 
     /// Announces the term weights `w_{q,t}` of the query about to be
@@ -676,6 +825,130 @@ mod tests {
         // The survivor still serves hits.
         bm.fetch(pid(0, 0)).unwrap();
         assert_eq!(bm.stats().hits, 1);
+    }
+
+    #[test]
+    fn fetch_traced_labels_hits_and_misses() {
+        let mut bm = BufferManager::new(store(1, 3), 2, PolicyKind::Lru).unwrap();
+        let (_, first) = bm.fetch_traced(pid(0, 0)).unwrap();
+        assert_eq!(first, FetchOutcome::Miss);
+        let (_, second) = bm.fetch_traced(pid(0, 0)).unwrap();
+        assert_eq!(second, FetchOutcome::Hit);
+        // Outcome counting reproduces the pool counters exactly.
+        let s = bm.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_within_budget() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            seed: 2,
+            transient_rate: 1.0,
+            max_consecutive_faults: 2,
+            ..FaultConfig::DISABLED
+        };
+        let faulty = FaultStore::new(store(1, 4), cfg);
+        let mut bm = BufferManager::new(faulty, 2, PolicyKind::Lru).unwrap();
+        // Budget of 1 retry < 2 consecutive faults: the fetch fails
+        // and the give-up is counted.
+        bm.set_fetch_policy(FetchPolicy::retries(1));
+        let err = bm.fetch(pid(0, 0)).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(bm.metrics().retries.get(), 1);
+        assert_eq!(bm.metrics().gave_up.get(), 1);
+        assert_eq!(bm.len(), 0, "failed fetch must not occupy a frame");
+        // Budget of 2 covers the cap: a fresh page (fresh consecutive
+        // count) faults twice, then the capped third attempt delivers.
+        bm.set_fetch_policy(FetchPolicy::retries(2));
+        let (_, outcome) = bm.fetch_traced(pid(0, 1)).unwrap();
+        assert_eq!(outcome, FetchOutcome::Miss);
+        assert_eq!(bm.metrics().retries.get(), 3, "two more retries spent");
+        assert_eq!(bm.metrics().gave_up.get(), 1);
+        assert!(bm.is_resident(pid(0, 1)));
+        let s = bm.stats();
+        assert_eq!(
+            (s.requests, s.hits, s.misses),
+            (2, 0, 1),
+            "only the delivered read is a completed miss"
+        );
+    }
+
+    #[test]
+    fn torn_pages_never_enter_a_frame() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            seed: 9,
+            torn_rate: 1.0,
+            max_consecutive_faults: 2,
+            ..FaultConfig::DISABLED
+        };
+        let faulty = FaultStore::new(store(1, 2), cfg);
+        let mut bm = BufferManager::new(faulty, 2, PolicyKind::Lru).unwrap();
+        // No retries: the torn delivery is detected and rejected.
+        let err = bm.fetch(pid(0, 0)).unwrap_err();
+        assert!(matches!(err, IrError::TornPage { .. }));
+        assert_eq!(bm.metrics().torn_pages.get(), 1);
+        assert_eq!(bm.len(), 0);
+        // With one retry the clean re-read lands, and the resident
+        // copy verifies.
+        bm.set_fetch_policy(FetchPolicy::retries(1));
+        let page = bm.fetch(pid(0, 0)).unwrap();
+        assert!(page.is_intact());
+        assert!(bm.peek(pid(0, 0)).unwrap().is_intact());
+        assert_eq!(bm.metrics().torn_pages.get(), 2);
+        assert_eq!(bm.metrics().retries.get(), 1);
+    }
+
+    #[test]
+    fn retry_events_flow_to_the_observer() {
+        use crate::fault::{FaultConfig, FaultStore};
+        use crate::observe::EventCounts;
+        #[derive(Clone, Debug, Default)]
+        struct SharedLog(std::sync::Arc<std::sync::Mutex<Vec<BufferEvent>>>);
+        impl BufferObserver for SharedLog {
+            fn event(&mut self, event: BufferEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let cfg = FaultConfig {
+            seed: 4,
+            transient_rate: 0.5,
+            torn_rate: 0.3,
+            max_consecutive_faults: 2,
+            ..FaultConfig::DISABLED
+        };
+        let faulty = FaultStore::new(store(2, 4), cfg);
+        let mut bm = BufferManager::new(faulty, 3, PolicyKind::Lru).unwrap();
+        bm.set_fetch_policy(FetchPolicy::retries(4));
+        let log = SharedLog::default();
+        bm.set_observer(Box::new(log.clone()));
+        for t in 0..2 {
+            for p in 0..4 {
+                bm.fetch(pid(t, p)).unwrap();
+            }
+        }
+        let counts = EventCounts::tally(&log.0.lock().unwrap());
+        assert_eq!(counts.retries, bm.metrics().retries.get());
+        assert_eq!(counts.torn, bm.metrics().torn_pages.get());
+        assert!(counts.retries > 0, "this seed must exercise the retry path");
+    }
+
+    #[test]
+    fn backoff_schedules() {
+        let ms = Duration::from_millis;
+        assert_eq!(Backoff::None.delay(1), None);
+        assert_eq!(Backoff::Fixed(Duration::ZERO).delay(1), None);
+        assert_eq!(Backoff::Fixed(ms(5)).delay(3), Some(ms(5)));
+        let exp = Backoff::Exponential {
+            base: ms(2),
+            cap: ms(10),
+        };
+        assert_eq!(exp.delay(1), Some(ms(2)));
+        assert_eq!(exp.delay(2), Some(ms(4)));
+        assert_eq!(exp.delay(3), Some(ms(8)));
+        assert_eq!(exp.delay(4), Some(ms(10)), "capped");
+        assert_eq!(exp.delay(40), Some(ms(10)), "huge attempts stay capped");
     }
 
     #[test]

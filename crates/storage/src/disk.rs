@@ -24,6 +24,15 @@ pub trait PageStore {
 
     /// Number of inverted lists (terms) in the store.
     fn n_lists(&self) -> usize;
+
+    /// Can [`read_page`](Self::read_page) ever deliver a torn page —
+    /// one whose content no longer matches its stored checksum? A
+    /// buffer pool only pays for checksum verification when this is
+    /// `true`; the default (`false`) is right for any store that
+    /// serves pages exactly as they were built.
+    fn can_tear(&self) -> bool {
+        false
+    }
 }
 
 /// Cumulative disk counters.
@@ -149,6 +158,10 @@ impl<S: PageStore + ?Sized> PageStore for &S {
     fn n_lists(&self) -> usize {
         (**self).n_lists()
     }
+
+    fn can_tear(&self) -> bool {
+        (**self).can_tear()
+    }
 }
 
 impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
@@ -162,6 +175,10 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
 
     fn n_lists(&self) -> usize {
         (**self).n_lists()
+    }
+
+    fn can_tear(&self) -> bool {
+        (**self).can_tear()
     }
 }
 

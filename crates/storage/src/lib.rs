@@ -29,6 +29,7 @@
 
 pub mod buffer;
 pub mod disk;
+pub mod fault;
 pub mod observe;
 pub mod page;
 pub mod partition;
@@ -36,8 +37,9 @@ pub mod policy;
 pub mod shared;
 pub mod stats;
 
-pub use buffer::BufferManager;
+pub use buffer::{Backoff, BufferManager, FetchOutcome, FetchPolicy};
 pub use disk::{DiskSim, DiskStats, PageStore};
+pub use fault::{FaultConfig, FaultStats, FaultStore};
 pub use observe::{BufferEvent, BufferObserver, EventCounts, EventLog};
 pub use page::Page;
 pub use partition::PartitionedBuffer;

@@ -25,6 +25,13 @@ pub enum BufferEvent {
     /// A pinned page was passed over while choosing an eviction victim
     /// (reported once per page per eviction decision).
     SkipPinned(PageId),
+    /// A store read of the page failed transiently and is being
+    /// re-attempted under the pool's `FetchPolicy` (one event per
+    /// retry attempt).
+    Retry(PageId),
+    /// A delivered copy of the page failed checksum verification and
+    /// was rejected (torn read).
+    Torn(PageId),
     /// The pool was emptied.
     Flush,
 }
@@ -92,6 +99,10 @@ pub struct EventCounts {
     pub evictions_tail: u64,
     /// `SkipPinned` events.
     pub skip_pinned: u64,
+    /// `Retry` events (re-attempted store reads).
+    pub retries: u64,
+    /// `Torn` events (rejected checksum-failing deliveries).
+    pub torn: u64,
     /// `Flush` events.
     pub flushes: u64,
 }
@@ -108,6 +119,8 @@ impl EventCounts {
                 BufferEvent::Evict(id) if id.page.0 == 0 => c.evictions_head += 1,
                 BufferEvent::Evict(_) => c.evictions_tail += 1,
                 BufferEvent::SkipPinned(_) => c.skip_pinned += 1,
+                BufferEvent::Retry(_) => c.retries += 1,
+                BufferEvent::Torn(_) => c.torn += 1,
                 BufferEvent::Flush => c.flushes += 1,
             }
         }
@@ -145,6 +158,9 @@ mod tests {
             BufferEvent::Evict(head),
             BufferEvent::Evict(tail),
             BufferEvent::SkipPinned(head),
+            BufferEvent::Retry(tail),
+            BufferEvent::Retry(tail),
+            BufferEvent::Torn(tail),
             BufferEvent::Flush,
         ];
         assert_eq!(
@@ -156,6 +172,8 @@ mod tests {
                 evictions_head: 1,
                 evictions_tail: 1,
                 skip_pinned: 1,
+                retries: 2,
+                torn: 1,
                 flushes: 1,
             }
         );

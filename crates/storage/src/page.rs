@@ -26,6 +26,29 @@ pub struct Page {
     postings: Arc<[Posting]>,
     max_freq: u32,
     max_weight: f64,
+    checksum: u64,
+}
+
+/// FNV-1a over the page address and every posting — the "stored"
+/// checksum a real page format would carry in its header, computed at
+/// page-build time and verified on delivery.
+fn content_checksum(id: PageId, postings: &[Posting]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u32| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(id.term.0);
+    mix(id.page.0);
+    for p in postings {
+        mix(p.doc.0);
+        mix(p.freq);
+    }
+    h
 }
 
 impl Page {
@@ -38,12 +61,37 @@ impl Page {
     pub fn new(id: PageId, postings: Arc<[Posting]>, idf: f64) -> Self {
         debug_assert!(!postings.is_empty(), "pages are never empty");
         let max_freq = postings.iter().map(|p| p.freq).max().unwrap_or(0);
+        let checksum = content_checksum(id, &postings);
         Page {
             id,
             postings,
             max_freq,
             max_weight: ir_types::weights::term_weight(max_freq, idf),
+            checksum,
         }
+    }
+
+    /// The checksum stored with the page at build time.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Does the page content still match its stored checksum? `false`
+    /// marks a torn read: the delivered image and the checksum written
+    /// at build time disagree, so the copy must not be trusted.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == content_checksum(self.id, &self.postings)
+    }
+
+    /// A copy of this page whose stored checksum no longer matches its
+    /// content — how a fault injector models a torn read. The posting
+    /// data itself is shared untouched; only the delivered copy's
+    /// integrity metadata is damaged, exactly what
+    /// [`is_intact`](Page::is_intact) exists to catch.
+    pub fn into_torn(mut self) -> Page {
+        self.checksum ^= 0xdead_beef_dead_beef;
+        self
     }
 
     /// The page's address.
@@ -117,6 +165,31 @@ mod tests {
         assert!(
             std::ptr::eq(p.postings().as_ptr(), q.postings().as_ptr()),
             "cloned pages must share the posting allocation"
+        );
+    }
+
+    #[test]
+    fn fresh_pages_verify_and_torn_copies_do_not() {
+        let p = page(&[(3, 9), (1, 5)], 2.0);
+        assert!(p.is_intact());
+        assert_ne!(p.checksum(), 0);
+        let torn = p.clone().into_torn();
+        assert!(!torn.is_intact(), "torn copy must fail verification");
+        // Tearing damages only the delivered copy's metadata: the data
+        // is shared and the original still verifies.
+        assert!(p.is_intact());
+        assert_eq!(torn.postings(), p.postings());
+    }
+
+    #[test]
+    fn checksum_covers_the_page_address() {
+        let postings: Vec<Posting> = vec![Posting::new(1, 2)];
+        let a = Page::new(PageId::new(TermId(7), 0), postings.clone().into(), 1.0);
+        let b = Page::new(PageId::new(TermId(7), 1), postings.into(), 1.0);
+        assert_ne!(
+            a.checksum(),
+            b.checksum(),
+            "same content at a different address must checksum differently"
         );
     }
 

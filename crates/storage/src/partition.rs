@@ -10,7 +10,7 @@
 //! in buffers for other users" — is supported read-only: a fetch first
 //! probes sibling partitions and copies a hit instead of going to disk.
 
-use crate::buffer::BufferManager;
+use crate::buffer::{BufferManager, FetchOutcome, FetchPolicy};
 use crate::disk::PageStore;
 use crate::page::Page;
 use crate::policy::PolicyKind;
@@ -53,6 +53,13 @@ impl<S: PageStore> PartitionedBuffer<S> {
     /// sibling partitions; only if no sibling holds the page does the
     /// request reach disk.
     pub fn fetch(&mut self, pid: PartitionId, id: PageId) -> IrResult<Page> {
+        self.fetch_traced(pid, id).map(|(page, _)| page)
+    }
+
+    /// [`fetch`](Self::fetch), also reporting how the request was
+    /// served: `Hit` from `pid`'s own frames, `Borrowed` via a sibling
+    /// partition's copy, `Miss` from the shared store.
+    pub fn fetch_traced(&mut self, pid: PartitionId, id: PageId) -> IrResult<(Page, FetchOutcome)> {
         let n = self.partitions.len();
         if pid >= n {
             return Err(IrError::InvalidConfig(format!(
@@ -60,7 +67,7 @@ impl<S: PageStore> PartitionedBuffer<S> {
             )));
         }
         if self.partitions[pid].is_resident(id) {
-            return self.partitions[pid].fetch(id);
+            return self.partitions[pid].fetch_traced(id);
         }
         // Sibling probe: a resident copy elsewhere saves the disk read
         // but still occupies a frame in `pid`'s own partition.
@@ -77,8 +84,41 @@ impl<S: PageStore> PartitionedBuffer<S> {
             // and issues zero reads against the shared store; admit
             // records it on the partition's borrow counter.
             self.partitions[pid].admit(page)?;
+            let (page, _) = self.partitions[pid].fetch_traced(id)?;
+            return Ok((page, FetchOutcome::Borrowed));
         }
-        self.partitions[pid].fetch(id)
+        self.partitions[pid].fetch_traced(id)
+    }
+
+    /// Sets the store-read retry policy on every partition.
+    pub fn set_fetch_policy(&mut self, policy: FetchPolicy) {
+        for p in &mut self.partitions {
+            p.set_fetch_policy(policy);
+        }
+    }
+
+    /// Sum of every partition's retried store reads.
+    pub fn retries(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.metrics().retries.get())
+            .sum()
+    }
+
+    /// Sum of every partition's abandoned (retry-exhausted) fetches.
+    pub fn gave_up(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.metrics().gave_up.get())
+            .sum()
+    }
+
+    /// Sum of every partition's rejected torn deliveries.
+    pub fn torn_pages(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.metrics().torn_pages.get())
+            .sum()
     }
 
     /// Announces query weights for one partition's current query.

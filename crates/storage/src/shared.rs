@@ -15,12 +15,12 @@
 //!   page granularity exactly like the time-sliced multi-user runs the
 //!   paper envisions.
 
-use crate::buffer::BufferManager;
+use crate::buffer::{BufferManager, FetchOutcome};
 use crate::disk::PageStore;
 use crate::page::Page;
 use crate::partition::{PartitionId, PartitionedBuffer};
 use crate::stats::BufferStats;
-use ir_types::{IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, TermId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,7 +33,15 @@ use std::sync::Arc;
 /// the evaluation algorithms in `ir-core` are generic over it.
 pub trait QueryBuffer {
     /// Fetches a page, counting a hit or a disk read.
-    fn fetch(&mut self, id: PageId) -> IrResult<Page>;
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        self.fetch_traced(id).map(|(page, _)| page)
+    }
+
+    /// Fetches a page, also reporting how the request was served.
+    /// The outcome is observed inside the fetch's own critical
+    /// section, so attribution is exact for the calling session even
+    /// when other sessions hammer the same pool concurrently.
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)>;
 
     /// `b_t`: resident page count of `term`'s inverted list.
     fn resident_pages(&self, term: TermId) -> u32;
@@ -55,6 +63,10 @@ pub trait QueryBuffer {
 impl<S: PageStore> QueryBuffer for BufferManager<S> {
     fn fetch(&mut self, id: PageId) -> IrResult<Page> {
         BufferManager::fetch(self, id)
+    }
+
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        BufferManager::fetch_traced(self, id)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -135,6 +147,10 @@ impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
         self.inner.lock().fetch(id)
     }
 
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        self.inner.lock().fetch_traced(id)
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         self.inner.lock().resident_pages(term)
     }
@@ -176,12 +192,24 @@ impl<S: PageStore> SharedPartitionedBuffer<S> {
     }
 
     /// A [`QueryBuffer`] view of partition `pid`; sibling borrowing
-    /// stays active across partitions.
-    pub fn handle(&self, pid: PartitionId) -> PartitionHandle<S> {
-        PartitionHandle {
+    /// stays active across partitions. The id is validated here, so a
+    /// handle that exists always addresses a real partition — the old
+    /// unvalidated construction let an out-of-range handle silently
+    /// report zeroed statistics.
+    ///
+    /// # Errors
+    /// [`IrError::InvalidConfig`] when `pid` is out of range.
+    pub fn handle(&self, pid: PartitionId) -> IrResult<PartitionHandle<S>> {
+        let n = self.inner.lock().n_partitions();
+        if pid >= n {
+            return Err(IrError::InvalidConfig(format!(
+                "partition {pid} out of range (have {n})"
+            )));
+        }
+        Ok(PartitionHandle {
             pool: Arc::clone(&self.inner),
             pid,
-        }
+        })
     }
 
     /// Runs `f` with the whole partitioned pool locked.
@@ -222,6 +250,10 @@ impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
         self.pool.lock().fetch(self.pid, id)
     }
 
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        self.pool.lock().fetch_traced(self.pid, id)
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         self.pool.lock().resident_pages(self.pid, term)
     }
@@ -231,7 +263,13 @@ impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
     }
 
     fn stats(&self) -> BufferStats {
-        self.pool.lock().stats(self.pid).unwrap_or_default()
+        // The pid was validated when the handle was constructed
+        // (`SharedPartitionedBuffer::handle`), so the partition always
+        // exists — no silent zeroed-stats fallback.
+        self.pool
+            .lock()
+            .stats(self.pid)
+            .expect("PartitionHandle pid validated at construction")
     }
 
     fn borrows(&self) -> u64 {
@@ -302,8 +340,8 @@ mod tests {
     fn partition_handles_route_to_their_partition() {
         let pb = PartitionedBuffer::new(Arc::new(store(1, 4)), 2, 2, PolicyKind::Lru).unwrap();
         let shared = SharedPartitionedBuffer::new(pb);
-        let mut h0 = shared.handle(0);
-        let mut h1 = shared.handle(1);
+        let mut h0 = shared.handle(0).unwrap();
+        let mut h1 = shared.handle(1).unwrap();
         h0.fetch(pid(0, 0)).unwrap();
         h1.fetch(pid(0, 0)).unwrap(); // sibling borrow, no disk read
         assert_eq!(shared.sibling_hits(), 1);
@@ -312,5 +350,37 @@ mod tests {
         assert_eq!(h1.stats().hits, 1);
         assert_eq!(h0.resident_pages(TermId(0)), 1);
         assert_eq!(h1.resident_pages(TermId(0)), 1);
+    }
+
+    #[test]
+    fn out_of_range_handle_is_rejected_at_construction() {
+        // Regression: an invalid pid used to yield a working handle
+        // whose stats() silently returned zeroes, so a session could
+        // run a whole experiment against a nonexistent partition and
+        // report a perfect (empty) cost profile.
+        let pb = PartitionedBuffer::new(Arc::new(store(1, 4)), 2, 2, PolicyKind::Lru).unwrap();
+        let shared = SharedPartitionedBuffer::new(pb);
+        let err = shared.handle(2).unwrap_err();
+        assert!(matches!(err, ir_types::IrError::InvalidConfig(_)));
+        assert!(err.to_string().contains("partition 2 out of range"));
+        // Valid handles keep reporting real statistics.
+        let mut h = shared.handle(1).unwrap();
+        h.fetch(pid(0, 0)).unwrap();
+        assert_eq!(h.stats().requests, 1);
+    }
+
+    #[test]
+    fn fetch_traced_labels_borrows_across_partitions() {
+        use crate::buffer::FetchOutcome;
+        let pb = PartitionedBuffer::new(Arc::new(store(1, 4)), 2, 2, PolicyKind::Lru).unwrap();
+        let shared = SharedPartitionedBuffer::new(pb);
+        let mut h0 = shared.handle(0).unwrap();
+        let mut h1 = shared.handle(1).unwrap();
+        let (_, a) = h0.fetch_traced(pid(0, 0)).unwrap();
+        assert_eq!(a, FetchOutcome::Miss);
+        let (_, b) = h1.fetch_traced(pid(0, 0)).unwrap();
+        assert_eq!(b, FetchOutcome::Borrowed, "sibling copy is a borrow");
+        let (_, c) = h1.fetch_traced(pid(0, 0)).unwrap();
+        assert_eq!(c, FetchOutcome::Hit, "borrowed copy now serves local hits");
     }
 }

@@ -82,6 +82,15 @@ pub struct BufferMetrics {
     /// Pinned pages passed over while choosing an eviction victim
     /// (counted once per page per eviction decision).
     pub skip_pinned: Counter,
+    /// Store reads re-attempted after a transient failure (one per
+    /// retry attempt, not per failed fetch).
+    pub retries: Counter,
+    /// Fetches abandoned with a transient error after exhausting the
+    /// retry budget.
+    pub gave_up: Counter,
+    /// Deliveries rejected because the page content failed checksum
+    /// verification (torn reads).
+    pub torn_pages: Counter,
 }
 
 impl Default for BufferMetrics {
@@ -108,6 +117,9 @@ impl BufferMetrics {
             evictions_head: registry.counter("buffer.evictions.head"),
             evictions_tail: registry.counter("buffer.evictions.tail"),
             skip_pinned: registry.counter("buffer.skip_pinned"),
+            retries: registry.counter("buffer.retries"),
+            gave_up: registry.counter("buffer.gave_up"),
+            torn_pages: registry.counter("buffer.torn_pages"),
         }
     }
 
@@ -206,9 +218,15 @@ mod tests {
         let m = BufferMetrics::new();
         m.skip_pinned.add(4);
         m.borrows.add(2);
+        m.retries.add(3);
+        m.gave_up.inc();
+        m.torn_pages.add(2);
         let d = m.dump();
         assert_eq!(d.counter("buffer.skip_pinned"), Some(4));
         assert_eq!(d.counter("buffer.borrows"), Some(2));
         assert_eq!(d.counter("buffer.loads"), Some(0));
+        assert_eq!(d.counter("buffer.retries"), Some(3));
+        assert_eq!(d.counter("buffer.gave_up"), Some(1));
+        assert_eq!(d.counter("buffer.torn_pages"), Some(2));
     }
 }

@@ -5,7 +5,8 @@
 //! full [`BufferManager`] with per-frame pin counts.
 
 use ir_storage::{
-    BufferEvent, BufferManager, BufferObserver, DiskSim, EventCounts, Page, PolicyKind,
+    BufferEvent, BufferManager, BufferObserver, DiskSim, EventCounts, FaultConfig, FaultStore,
+    FetchPolicy, Page, PolicyKind,
 };
 use ir_types::{PageId, Posting, TermId};
 use proptest::{collection, proptest, ProptestConfig};
@@ -202,6 +203,8 @@ proptest! {
                 "{kind}: tail evictions"
             );
             assert_eq!(m.skip_pinned.get(), counts.skip_pinned, "{kind}: skips");
+            assert_eq!(m.retries.get(), counts.retries, "{kind}: retries");
+            assert_eq!(m.torn_pages.get(), counts.torn, "{kind}: torn");
             // The snapshot view agrees with both accounting paths:
             // every fetch succeeded, so requests = hits + misses, and
             // misses are exactly the loads.
@@ -213,6 +216,67 @@ proptest! {
                 counts.evictions_head + counts.evictions_tail,
                 "{kind}: eviction split"
             );
+        }
+    }
+
+    /// Fault-recovery transparency: a pool reading through a
+    /// [`FaultStore`] that fails EVERY read transiently (until the
+    /// consecutive-fault cap forces delivery), with a retry budget
+    /// covering the cap, ends byte-identical to a pool that never saw
+    /// a fault — same resident set, same page contents, same hit/miss
+    /// accounting, same `b_t` — under every policy.
+    #[test]
+    fn full_transient_fault_recovery_is_invisible(
+        capacity in 2usize..6,
+        cap in 1u32..4,
+        seed in proptest::any::<u64>(),
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM), 1..60),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut clean = BufferManager::new(store(), capacity, kind).unwrap();
+            let cfg = FaultConfig {
+                seed,
+                transient_rate: 1.0,
+                max_consecutive_faults: cap,
+                ..FaultConfig::DISABLED
+            };
+            let mut faulty = BufferManager::new(FaultStore::new(store(), cfg), capacity, kind)
+                .unwrap();
+            faulty.set_fetch_policy(FetchPolicy::retries(cap));
+            for (t, p) in &ops {
+                let id = PageId::new(TermId(*t), *p);
+                let a = clean.fetch(id).unwrap();
+                let b = faulty
+                    .fetch(id)
+                    .unwrap_or_else(|e| panic!("{kind}: recovery failed: {e}"));
+                assert_eq!(a.postings(), b.postings(), "{kind}: delivered bytes differ");
+                assert!(b.is_intact(), "{kind}: recovered page fails checksum");
+            }
+            assert_eq!(
+                clean.resident_ids(),
+                faulty.resident_ids(),
+                "{kind}: resident sets differ"
+            );
+            for id in clean.resident_ids() {
+                let a = clean.peek(id).unwrap();
+                let b = faulty.peek(id).unwrap();
+                assert_eq!(a.postings(), b.postings(), "{kind}: resident bytes differ");
+                assert!(b.is_intact(), "{kind}: resident page fails checksum");
+            }
+            let (sa, sb) = (clean.stats(), faulty.stats());
+            assert_eq!(
+                (sa.requests, sa.hits, sa.misses, sa.evictions),
+                (sb.requests, sb.hits, sb.misses, sb.evictions),
+                "{kind}: accounting differs"
+            );
+            for t in 0..N_TERMS {
+                assert_eq!(
+                    clean.resident_pages(TermId(t)),
+                    faulty.resident_pages(TermId(t)),
+                    "{kind}: b_t differs for term {t}"
+                );
+            }
+            assert_eq!(faulty.metrics().gave_up.get(), 0, "{kind}: budget covers the cap");
         }
     }
 }

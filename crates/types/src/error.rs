@@ -40,6 +40,38 @@ pub enum IrError {
     },
     /// A configuration combination the engine cannot honour.
     InvalidConfig(String),
+    /// A page read failed for a reason that may not recur (a fault
+    /// injector's transient error, a flaky device): retrying the same
+    /// read can succeed.
+    TransientRead {
+        /// The page whose read failed.
+        page: PageId,
+        /// Human-readable failure diagnostic.
+        reason: String,
+    },
+    /// A page arrived whose content does not match its checksum (a
+    /// torn read); the copy on disk is assumed good, so a re-read can
+    /// succeed.
+    TornPage {
+        /// The page whose delivered image failed verification.
+        page: PageId,
+    },
+    /// A session thread panicked; carries the panic payload when it
+    /// was a string.
+    SessionPanicked(String),
+}
+
+impl IrError {
+    /// Is this a failure a bounded retry of the same operation can
+    /// clear? True for [`TransientRead`](IrError::TransientRead) and
+    /// [`TornPage`](IrError::TornPage); every other variant is a
+    /// deterministic logic condition retrying cannot change.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IrError::TransientRead { .. } | IrError::TornPage { .. }
+        )
+    }
 }
 
 impl fmt::Display for IrError {
@@ -59,6 +91,13 @@ impl fmt::Display for IrError {
                 write!(f, "corrupt page {page}: {reason}")
             }
             IrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            IrError::TransientRead { page, reason } => {
+                write!(f, "transient read failure on page {page}: {reason}")
+            }
+            IrError::TornPage { page } => {
+                write!(f, "torn page {page}: content does not match checksum")
+            }
+            IrError::SessionPanicked(msg) => write!(f, "session panicked: {msg}"),
         }
     }
 }
@@ -85,5 +124,19 @@ mod tests {
     fn error_trait_object_usable() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&IrError::EmptyBufferPool);
+    }
+
+    #[test]
+    fn transience_splits_retryable_from_terminal() {
+        let page = PageId::new(TermId(1), 2);
+        assert!(IrError::TransientRead {
+            page,
+            reason: "injected".into()
+        }
+        .is_transient());
+        assert!(IrError::TornPage { page }.is_transient());
+        assert!(!IrError::NoEvictableFrame.is_transient());
+        assert!(!IrError::UnknownTerm(TermId(0)).is_transient());
+        assert!(!IrError::SessionPanicked("boom".into()).is_transient());
     }
 }

@@ -103,6 +103,45 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Poison-free condition variable, parking_lot style.
+///
+/// One API divergence from the real crate: because this stub's
+/// [`Mutex`] hands out `std` guards, `wait` takes and returns the
+/// guard **by value** (the `std::sync::Condvar` signature) instead of
+/// taking `&mut guard`. A wait on a lock whose previous holder
+/// panicked recovers transparently, matching the poison-free
+/// semantics of the rest of the stub.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Blocks until notified, releasing the guard while parked. Never
+    /// poisons: the reacquired guard is returned even if another
+    /// holder panicked in between.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +161,35 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(m.try_lock().map(|g| *g), Some(1));
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_even_after_a_panicked_holder() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // A holder that panics while the lock is taken must not poison
+        // subsequent waits.
+        {
+            let pair = Arc::clone(&pair);
+            let _ = std::thread::spawn(move || {
+                let _g = pair.0.lock();
+                panic!("deliberate");
+            })
+            .join();
+        }
+        let signaller = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                *pair.0.lock() = true;
+                pair.1.notify_all();
+            })
+        };
+        let mut ready = pair.0.lock();
+        while !*ready {
+            ready = pair.1.wait(ready);
+        }
+        drop(ready);
+        signaller.join().unwrap();
     }
 
     #[test]
