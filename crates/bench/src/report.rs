@@ -10,7 +10,7 @@ use crate::exp::ExpResult;
 use crate::setup::{pick_representatives, profile_queries, TestBed};
 use ir_core::eval::{evaluate, EvalOptions};
 use ir_core::{run_sequence, Algorithm, RefinementKind, SessionConfig};
-use ir_storage::PolicyKind;
+use ir_storage::{BufferMetrics, PolicyKind};
 use ir_types::FilterParams;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -86,8 +86,52 @@ pub struct LatencySummary {
     pub throughput_qps: f64,
 }
 
+/// Batched-fetch behavior over the evaluation micro-kernels: how many
+/// read plans the evaluators issued, how many pages each batch
+/// covered, and how well the plans' value hints predicted the
+/// replacement policy's assigned page values. Informational (not
+/// compared — a baseline written before batching existed reads back as
+/// all zeros).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchingSummary {
+    /// Read plans issued as batched fetches.
+    pub batches: u64,
+    /// Pages requested across all batches (counting duplicates).
+    pub pages: u64,
+    /// Upper bounds of the pages-per-batch histogram buckets.
+    pub pages_per_batch_bounds: Vec<u64>,
+    /// Per-bucket batch counts, overflow bucket last.
+    pub pages_per_batch_counts: Vec<u64>,
+    /// Admissions that carried a plan value hint.
+    pub hinted_inserts: u64,
+    /// Total |hinted − assigned| page-value error over those
+    /// admissions, in thousandths.
+    pub hint_abs_error_milli: u64,
+}
+
+impl BatchingSummary {
+    /// Folds one pool's batch counters into the summary.
+    fn absorb(&mut self, m: &BufferMetrics) {
+        self.batches += m.batches.get();
+        self.pages += m.batch_pages.sum();
+        if self.pages_per_batch_bounds.is_empty() {
+            self.pages_per_batch_bounds = m.batch_pages.bounds().to_vec();
+            self.pages_per_batch_counts = vec![0; self.pages_per_batch_bounds.len() + 1];
+        }
+        for (slot, n) in self
+            .pages_per_batch_counts
+            .iter_mut()
+            .zip(m.batch_pages.bucket_counts())
+        {
+            *slot += n;
+        }
+        self.hinted_inserts += m.hinted_inserts.get();
+        self.hint_abs_error_milli += m.hint_abs_error_milli.get();
+    }
+}
+
 /// The whole report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
     /// Report shape version (see [`SCHEMA_VERSION`]).
     pub schema_version: u32,
@@ -101,9 +145,40 @@ pub struct BenchReport {
     pub latency: LatencySummary,
     /// Evaluation micro-kernel throughputs.
     pub micro: Vec<MicroRow>,
+    /// Batched-fetch counters over the micro-kernels (informational;
+    /// not compared).
+    pub batching: BatchingSummary,
     /// Global `ir-observe` counter values at the end of the run
     /// (informational; not compared).
     pub counters: Vec<(String, u64)>,
+}
+
+/// Required field of a JSON-object value.
+fn req<T: serde::Deserialize>(v: &serde::Value, name: &'static str) -> Result<T, serde::Error> {
+    T::from_value(
+        v.field(name)
+            .ok_or_else(|| serde::Error::missing_field(name))?,
+    )
+}
+
+// Hand-written (instead of derived) so `batching` defaults to zeros
+// when the baseline was recorded before batching existed.
+impl serde::Deserialize for BenchReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(BenchReport {
+            schema_version: req(v, "schema_version")?,
+            scale: req(v, "scale")?,
+            fig3: req(v, "fig3")?,
+            figures: req(v, "figures")?,
+            latency: req(v, "latency")?,
+            micro: req(v, "micro")?,
+            batching: v.field("batching").map_or_else(
+                || Ok(BatchingSummary::default()),
+                serde::Deserialize::from_value,
+            )?,
+            counters: req(v, "counters")?,
+        })
+    }
 }
 
 const COMBOS: [(Algorithm, PolicyKind); 6] = [
@@ -175,6 +250,7 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
     // pool, one kernel per algorithm. DF (the state of practice) is
     // the latency-distribution population.
     let mut micro = Vec::new();
+    let mut batching = BatchingSummary::default();
     let mut df_times: Vec<u64> = Vec::new();
     for (name, alg) in [
         ("eval_full", Algorithm::Full),
@@ -200,6 +276,7 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
             )?;
             let us = started.elapsed().as_micros() as u64;
             total_us += us;
+            batching.absorb(buffer.metrics());
             if alg == Algorithm::Df {
                 df_times.push(us);
             }
@@ -236,6 +313,7 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
         figures,
         latency,
         micro,
+        batching,
         counters: ir_observe::global().snapshot().counters,
     })
 }
@@ -365,6 +443,14 @@ mod tests {
                 total_us: 50_000,
                 ops_per_sec: 80.0,
             }],
+            batching: BatchingSummary {
+                batches: 9,
+                pages: 31,
+                pages_per_batch_bounds: vec![1, 2, 4],
+                pages_per_batch_counts: vec![2, 3, 4, 0],
+                hinted_inserts: 12,
+                hint_abs_error_milli: 250,
+            },
             counters: vec![("index.pages_decoded".into(), 7)],
         }
     }
@@ -435,7 +521,27 @@ mod tests {
         assert_eq!(back.figures[0].total_reads, 42);
         assert_eq!(back.latency.p99_us, 20_000);
         assert_eq!(back.micro[0].name, "eval_df");
+        assert_eq!(back.batching, r.batching);
         assert_eq!(back.counters, r.counters);
+    }
+
+    #[test]
+    fn pre_batching_baselines_read_back_as_zeros() {
+        // A baseline recorded before the batching summary existed has
+        // no "batching" field; it must still load (with zeros), and
+        // the gate must still pass against a current report.
+        let r = report();
+        let mut v = serde::Serialize::to_value(&r);
+        match &mut v {
+            serde::Value::Obj(fields) => fields.retain(|(k, _)| k != "batching"),
+            other => panic!("report serialized as non-object: {other:?}"),
+        }
+        let old = <BenchReport as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(old.batching, BatchingSummary::default());
+        assert!(
+            compare(&old, &r, 0.15).is_empty(),
+            "batching is informational"
+        );
     }
 
     #[test]

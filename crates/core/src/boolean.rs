@@ -22,7 +22,7 @@
 use crate::stats::EvalStats;
 use ir_index::InvertedIndex;
 use ir_storage::QueryBuffer;
-use ir_types::{DocId, IrError, IrResult, PageId};
+use ir_types::{DocId, IrError, IrResult, ReadPlan};
 use std::collections::BTreeSet;
 
 /// A boolean query tree.
@@ -98,20 +98,27 @@ impl BooleanQuery {
                 if entry.stopped {
                     return Ok(docs);
                 }
-                for p in 0..entry.n_pages {
-                    let (page, how) = buffer.fetch_traced(PageId::new(id, p))?;
-                    stats.pages_processed += 1;
-                    match how {
-                        ir_storage::FetchOutcome::Miss => stats.disk_reads += 1,
-                        ir_storage::FetchOutcome::Borrowed => {
-                            stats.buffer_hits += 1;
-                            stats.borrows += 1;
+                if entry.n_pages > 0 {
+                    // Safe evaluation reads the whole list: one
+                    // full-list plan per term. Boolean queries carry no
+                    // term weights, so the entries are unhinted.
+                    let plan = ReadPlan::for_term_pages(id, entry.n_pages, None);
+                    let fetched = buffer.fetch_batch(&plan)?;
+                    stats.batches_issued += 1;
+                    for (page, how) in &fetched {
+                        stats.pages_processed += 1;
+                        match how {
+                            ir_storage::FetchOutcome::Miss => stats.disk_reads += 1,
+                            ir_storage::FetchOutcome::Borrowed => {
+                                stats.buffer_hits += 1;
+                                stats.borrows += 1;
+                            }
+                            ir_storage::FetchOutcome::Hit => stats.buffer_hits += 1,
                         }
-                        ir_storage::FetchOutcome::Hit => stats.buffer_hits += 1,
-                    }
-                    for posting in page.postings() {
-                        stats.entries_processed += 1;
-                        docs.insert(posting.doc);
+                        for posting in page.postings() {
+                            stats.entries_processed += 1;
+                            docs.insert(posting.doc);
+                        }
                     }
                 }
                 stats.terms_scanned += 1;

@@ -21,7 +21,7 @@ use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
 use ir_observe::SpanKind;
 use ir_storage::QueryBuffer;
-use ir_types::{IrResult, ListOrdering, PageId};
+use ir_types::{IrResult, ListOrdering, PageId, ReadPlan};
 
 /// Runs BAF.
 pub fn evaluate_baf<B: QueryBuffer>(
@@ -121,8 +121,16 @@ pub fn evaluate_baf<B: QueryBuffer>(
             stats.terms_skipped += 1;
             if options.baf_force_first_page && t.n_pages > 0 {
                 // §3.2.2 safety fix: touch the first page anyway so a
-                // newly added term is never silently ignored.
-                let (_, how) = buffer.fetch_traced(PageId::new(t.term, 0))?;
+                // newly added term is never silently ignored. A
+                // one-entry plan keeps even this touch on the batch
+                // path (and hints the page with w_{q,t}).
+                let plan = ReadPlan::single_hinted(PageId::new(t.term, 0), t.weight());
+                let fetched = buffer.fetch_batch(&plan)?;
+                let (_, how) = fetched
+                    .into_iter()
+                    .next()
+                    .expect("a one-entry plan yields one result");
+                stats.batches_issued += 1;
                 row.pages_processed = 1;
                 row.pages_read = u32::from(how == ir_storage::FetchOutcome::Miss);
                 stats.pages_processed += 1;
@@ -133,6 +141,9 @@ pub fn evaluate_baf<B: QueryBuffer>(
             trace.push(row);
             continue;
         }
+        // The cached `p_t` (refreshed against the current S_max above)
+        // is exactly the page count a threshold-f_add scan processes —
+        // it sizes both the d_t estimate and the term's read plan.
         let out = scan_term(
             buffer,
             &mut accs,
@@ -141,8 +152,10 @@ pub fn evaluate_baf<B: QueryBuffer>(
             f_ins,
             f_add,
             early_stop,
+            pt_cache[i],
             Some(&sel_span),
         )?;
+        stats.batches_issued += 1;
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);

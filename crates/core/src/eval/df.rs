@@ -63,6 +63,10 @@ pub fn evaluate_df<B: QueryBuffer>(
             trace.push(row);
             continue;
         }
+        // The conversion table (§3.2.2) sizes the term's read plan
+        // exactly: the scan's batched fetch covers precisely the pages
+        // the threshold-f_add scan will process.
+        let plan_pages = index.conversion().pages_to_process(t.term, f_add)?;
         let out = scan_term(
             buffer,
             &mut accs,
@@ -71,8 +75,10 @@ pub fn evaluate_df<B: QueryBuffer>(
             f_ins,
             f_add,
             early_stop,
+            plan_pages,
             Some(&qspan),
         )?;
+        stats.batches_issued += 1;
         stats.terms_scanned += 1;
         stats.pages_processed += u64::from(out.pages_processed);
         stats.disk_reads += u64::from(out.pages_read);

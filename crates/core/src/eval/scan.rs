@@ -5,7 +5,7 @@ use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
 use ir_observe::{Span, SpanKind};
 use ir_storage::{FetchOutcome, QueryBuffer};
-use ir_types::{IrResult, PageId};
+use ir_types::{IrResult, ReadPlan};
 
 /// What one term scan did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -26,6 +26,15 @@ pub(crate) struct ScanOutcome {
 /// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
 /// touched (step 4(c)v). When `parent` is given, the scan reports
 /// itself as a `list-read` span beneath it.
+///
+/// The whole term is issued as **one** [`ReadPlan`] of `plan_pages`
+/// pages, each hinted with `w_{q,t}` so hint-aware policies can value
+/// the page at admission. The caller sizes the plan from the conversion
+/// table (§3.2.2), which is exact: under frequency ordering the page
+/// holding the first entry with `f ≤ f_add` is the plan's last page;
+/// under doc ordering the plan covers the full list. Batching therefore
+/// fetches exactly the pages the old page-at-a-time loop did, in the
+/// same order.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn scan_term<B: QueryBuffer>(
     buffer: &mut B,
@@ -35,17 +44,19 @@ pub(crate) fn scan_term<B: QueryBuffer>(
     f_ins: f64,
     f_add: f64,
     early_stop: bool,
+    plan_pages: u32,
     parent: Option<&Span>,
 ) -> IrResult<ScanOutcome> {
     let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
     let mut out = ScanOutcome::default();
     let w_q = term.weight();
-    'pages: for p in 0..term.n_pages {
-        // Per-call outcome attribution: each fetch reports whether it
-        // was served from this caller's frames, a sibling's, or disk —
-        // so the counts stay per-query even when other sessions drive
-        // the same pool concurrently (pool-wide miss deltas don't).
-        let (page, how) = buffer.fetch_traced(PageId::new(term.term, p))?;
+    let plan = ReadPlan::for_term_pages(term.term, plan_pages, Some(w_q));
+    // Per-call outcome attribution: each plan entry reports whether it
+    // was served from this caller's frames, a sibling's, or disk — so
+    // the counts stay per-query even when other sessions drive the
+    // same pool concurrently (pool-wide miss deltas don't).
+    let fetched = buffer.fetch_batch(&plan)?;
+    'pages: for (i, (page, how)) in fetched.iter().enumerate() {
         out.pages_processed += 1;
         match how {
             FetchOutcome::Miss => out.pages_read += 1,
@@ -58,7 +69,9 @@ pub(crate) fn scan_term<B: QueryBuffer>(
             if f <= f_add {
                 if early_stop {
                     // Frequency ordering: nothing further in this list
-                    // can pass the addition threshold.
+                    // can pass the addition threshold — and the plan
+                    // was sized so this entry sits on its last page.
+                    debug_assert_eq!(i + 1, fetched.len(), "plan over-covered the scan");
                     break 'pages;
                 }
                 // Doc ordering: the entry is filtered, but later ones
@@ -90,7 +103,7 @@ pub(crate) fn scan_term<B: QueryBuffer>(
 mod tests {
     use super::*;
     use ir_storage::{BufferManager, DiskSim, Page, PolicyKind};
-    use ir_types::{DocId, Posting, TermId};
+    use ir_types::{DocId, PageId, Posting, TermId};
 
     /// One term, postings (doc, freq) frequency-sorted, `page_size`
     /// entries per page, idf 2.0.
@@ -122,7 +135,10 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
+        let out = scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, 2, None,
+        )
+        .unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.pages_read, 2);
         assert_eq!(out.entries, 4);
@@ -138,7 +154,10 @@ mod tests {
         let mut s_max = 0.0;
         // f_add = 2: f=1 fails; the failing entry is on page 1, so both
         // its page and page 0 are processed, and entries = 3 (5, 3, 1).
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 2.0, true, None).unwrap();
+        let out = scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 2.0, true, 2, None,
+        )
+        .unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.entries, 3);
         assert_eq!(accs.len(), 2);
@@ -149,7 +168,10 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 1), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 1.0, true, None).unwrap();
+        let out = scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 1.0, true, 1, None,
+        )
+        .unwrap();
         assert_eq!(out.pages_processed, 1, "page 1 must not be fetched");
         assert_eq!(out.entries, 2);
         assert_eq!(accs.len(), 1);
@@ -163,7 +185,10 @@ mod tests {
         let mut s_max = 0.0;
         // f_ins = 4: only f=5 creates; f=3 (doc 1) is filtered out
         // entirely; f=2 (doc 2) passes f_add and doc 2 exists → added.
-        let out = scan_term(&mut buf, &mut accs, &mut s_max, &term, 4.0, 1.0, true, None).unwrap();
+        let out = scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 4.0, 1.0, true, 1, None,
+        )
+        .unwrap();
         assert_eq!(out.entries, 3);
         assert_eq!(accs.len(), 2);
         assert!(accs.contains(DocId(0)));
@@ -178,12 +203,37 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
         let mut accs = Accumulators::new();
         let mut s_max = 0.0;
-        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
+        scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, 2, None,
+        )
+        .unwrap();
         let mut accs2 = Accumulators::new();
         let mut s2 = 0.0;
-        let out = scan_term(&mut buf, &mut accs2, &mut s2, &term, 0.0, 0.0, true, None).unwrap();
+        let out = scan_term(
+            &mut buf, &mut accs2, &mut s2, &term, 0.0, 0.0, true, 2, None,
+        )
+        .unwrap();
         assert_eq!(out.pages_processed, 2);
         assert_eq!(out.pages_read, 0, "everything was resident");
+    }
+
+    #[test]
+    fn one_scan_issues_one_batch_of_plan_size() {
+        let (mut buf, term) = setup(&[(0, 5), (1, 3), (2, 1), (3, 1)], 2);
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, 2, None,
+        )
+        .unwrap();
+        let dump = buf.metrics().dump();
+        assert_eq!(dump.counter("buffer.batches"), Some(1));
+        let h = dump
+            .histograms
+            .iter()
+            .find(|h| h.name == "buffer.batch_pages")
+            .unwrap();
+        assert_eq!((h.count, h.sum), (1, 2), "one plan covering two pages");
     }
 
     #[test]
@@ -191,7 +241,10 @@ mod tests {
         let (mut buf, term) = setup(&[(0, 5), (1, 3)], 4);
         let mut accs = Accumulators::new();
         let mut s_max = 1000.0;
-        scan_term(&mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, None).unwrap();
+        scan_term(
+            &mut buf, &mut accs, &mut s_max, &term, 0.0, 0.0, true, 1, None,
+        )
+        .unwrap();
         assert_eq!(s_max, 1000.0);
     }
 }

@@ -46,6 +46,9 @@ pub struct EvalStats {
     /// BAF only: `Σ |d_t − actual reads|` over scanned terms — the
     /// estimator's absolute error, a measured quantity.
     pub baf_estimate_abs_error: u64,
+    /// Read plans issued as batched fetches: one per scanned list (plus
+    /// one per forced first-page touch under BAF's safety fix).
+    pub batches_issued: u64,
 }
 
 /// One row of a Table 1/2-style evaluation trace: the state of the

@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The cost of one evaluated query.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct QueryCost {
     /// Which session submitted the query (0 for a single-user engine).
     pub session: u32,
@@ -32,10 +32,46 @@ pub struct QueryCost {
     /// Sum of the BAF estimator's `d_t` predictions for the terms it
     /// selected (0 for DF/Full, which do not estimate).
     pub estimated_reads: u64,
+    /// Read plans the evaluator issued as batched fetches (defaults to
+    /// 0 when deserializing ledgers recorded before batching existed).
+    pub batches: u64,
+}
+
+/// Required field of a JSON-object value.
+fn req<T: serde::Deserialize>(v: &serde::Value, name: &'static str) -> Result<T, serde::Error> {
+    T::from_value(
+        v.field(name)
+            .ok_or_else(|| serde::Error::missing_field(name))?,
+    )
+}
+
+/// Optional field: `T::default()` when absent (back-compat for rows
+/// recorded before the field existed).
+fn opt<T: serde::Deserialize + Default>(v: &serde::Value, name: &str) -> Result<T, serde::Error> {
+    v.field(name)
+        .map_or_else(|| Ok(T::default()), T::from_value)
+}
+
+// Hand-written (instead of derived) so `batches` defaults to 0 for
+// ledgers serialized before batching existed.
+impl serde::Deserialize for QueryCost {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(QueryCost {
+            session: req(v, "session")?,
+            step: req(v, "step")?,
+            disk_reads: req(v, "disk_reads")?,
+            buffer_hits: req(v, "buffer_hits")?,
+            borrows: req(v, "borrows")?,
+            eval_us: req(v, "eval_us")?,
+            candidates: req(v, "candidates")?,
+            estimated_reads: req(v, "estimated_reads")?,
+            batches: opt(v, "batches")?,
+        })
+    }
 }
 
 /// One session's costs, summed over its queries.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct SessionCost {
     /// The session these totals cover.
     pub session: u32,
@@ -51,6 +87,24 @@ pub struct SessionCost {
     pub eval_us: u64,
     /// Largest candidate set any single query built.
     pub peak_candidates: u64,
+    /// Total batched read plans issued.
+    pub batches: u64,
+}
+
+// Hand-written for the same back-compat reason as `QueryCost`.
+impl serde::Deserialize for SessionCost {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(SessionCost {
+            session: req(v, "session")?,
+            queries: req(v, "queries")?,
+            disk_reads: req(v, "disk_reads")?,
+            buffer_hits: req(v, "buffer_hits")?,
+            borrows: req(v, "borrows")?,
+            eval_us: req(v, "eval_us")?,
+            peak_candidates: req(v, "peak_candidates")?,
+            batches: opt(v, "batches")?,
+        })
+    }
 }
 
 impl SessionCost {
@@ -61,6 +115,7 @@ impl SessionCost {
         self.borrows += q.borrows;
         self.eval_us += q.eval_us;
         self.peak_candidates = self.peak_candidates.max(q.candidates);
+        self.batches += q.batches;
     }
 }
 
@@ -151,6 +206,7 @@ pub fn query_cost(session: u32, step: u32, stats: &ir_core::EvalStats, eval_us: 
         eval_us,
         candidates: stats.peak_accumulators as u64,
         estimated_reads: stats.baf_estimated_reads,
+        batches: stats.batches_issued,
     }
 }
 
@@ -168,6 +224,7 @@ mod tests {
             eval_us: 10,
             candidates: cands,
             estimated_reads: reads + 1,
+            batches: 3,
         }
     }
 
@@ -188,6 +245,7 @@ mod tests {
         assert_eq!(sessions[0].borrows, 2);
         assert_eq!(sessions[0].eval_us, 20);
         assert_eq!(sessions[0].peak_candidates, 60);
+        assert_eq!(sessions[0].batches, 6);
         assert_eq!(sessions[1].queries, 1);
         assert_eq!(sessions[1].peak_candidates, 90);
     }
@@ -223,6 +281,14 @@ mod tests {
         a.merge(b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.total_disk_reads(), 3);
+    }
+
+    #[test]
+    fn pre_batching_ledgers_deserialize_with_zero_batches() {
+        let json = r#"{"entries":[{"session":0,"step":0,"disk_reads":5,"buffer_hits":2,
+            "borrows":1,"eval_us":10,"candidates":40,"estimated_reads":6}]}"#;
+        let back: CostLedger = serde_json::from_str(json).unwrap();
+        assert_eq!(back.entries[0].batches, 0);
     }
 
     #[test]

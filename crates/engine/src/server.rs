@@ -44,7 +44,7 @@ use ir_storage::{
     FetchPolicy, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
     SharedBufferManager, SharedPartitionedBuffer,
 };
-use ir_types::{IrError, IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -276,6 +276,16 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.fetch_traced(id),
             SessionBuffer::GlobalShared { pool, .. } => pool.fetch_traced(id),
             SessionBuffer::Partition(h) => h.fetch_traced(id),
+        }
+    }
+
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        // Forwarded so a session's whole plan runs under one pool lock
+        // acquisition instead of one per page.
+        match self {
+            SessionBuffer::Shared(p) => p.fetch_batch(plan),
+            SessionBuffer::GlobalShared { pool, .. } => pool.fetch_batch(plan),
+            SessionBuffer::Partition(h) => h.fetch_batch(plan),
         }
     }
 

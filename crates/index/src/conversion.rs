@@ -102,16 +102,12 @@ impl ConversionTable {
             .ok_or(IrError::UnknownTerm(term))?;
         let total = counts.first().copied().unwrap_or(0);
         let above = self.postings_above(term, f_add)?;
-        if above == 0 {
-            return Ok(0);
-        }
-        if self.doc_ordered || above == total {
-            // Doc-ordered: no early termination — any passing entry
-            // forces a scan of the whole list (footnote 14's regime).
-            return Ok(total.div_ceil(self.page_size as u64) as u32);
-        }
-        // The failing entry's page is processed too.
-        Ok((above / self.page_size as u64 + 1) as u32)
+        Ok(crate::scan_geometry::pages_for_scan(
+            above,
+            total,
+            self.page_size,
+            !self.doc_ordered,
+        ))
     }
 
     /// Number of terms covered.

@@ -62,19 +62,21 @@ impl CompactConversionTable {
             if n_pages <= 1 {
                 continue;
             }
-            // p_t per integer threshold: scan once, recording where the
-            // first entry <= f falls.
+            // p_t per integer threshold: count the passing prefix, then
+            // apply the shared scan geometry (compact rows are built
+            // from frequency-sorted lists, so scans stop early).
             let row: Vec<u32> = (0..=cap)
                 .map(|f| {
                     if f64::from(f_max) <= f64::from(f) {
                         return 0;
                     }
-                    let above = postings.iter().take_while(|p| p.freq > f).count();
-                    if above == postings.len() {
-                        n_pages
-                    } else {
-                        (above / page_size + 1) as u32
-                    }
+                    let above = postings.iter().take_while(|p| p.freq > f).count() as u64;
+                    crate::scan_geometry::pages_for_scan(
+                        above,
+                        postings.len() as u64,
+                        page_size,
+                        true,
+                    )
                 })
                 .collect();
             rows.insert(TermId(t as u32), row);

@@ -31,6 +31,7 @@ pub mod forward;
 pub mod index;
 pub mod lexicon;
 pub mod persist;
+mod scan_geometry;
 
 pub use builder::{BuildOptions, IndexBuilder};
 pub use compress::{decode_postings, encode_postings, CompressionStats};

@@ -7,9 +7,9 @@ use crate::observe::{BufferEvent, BufferObserver};
 use crate::page::Page;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferMetrics, BufferStats};
-use ir_types::{IrError, IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 /// How a completed fetch was served — reported per call so each
@@ -179,6 +179,15 @@ impl<S: PageStore> BufferManager<S> {
     /// [`fetch`](Self::fetch), also reporting how the request was
     /// served — the per-call attribution concurrent sessions need.
     pub fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        self.fetch_one_hinted(PlanEntry::new(id))
+    }
+
+    /// Serves one plan entry: the single-fetch protocol, carrying the
+    /// entry's value hint to admission. Shared by
+    /// [`fetch_traced`](Self::fetch_traced) (no hint) and the
+    /// non-vectored arm of [`fetch_batch`](Self::fetch_batch).
+    pub(crate) fn fetch_one_hinted(&mut self, entry: PlanEntry) -> IrResult<(Page, FetchOutcome)> {
+        let id = entry.page;
         self.metrics.requests.inc();
         if let Some(page) = self.frames.get(&id) {
             let page = page.clone();
@@ -198,8 +207,87 @@ impl<S: PageStore> BufferManager<S> {
         while self.frames.len() >= self.capacity {
             self.evict_one()?;
         }
-        self.install(page.clone(), false);
+        self.install_hinted(page.clone(), false, entry.value_hint);
         Ok((page, FetchOutcome::Miss))
+    }
+
+    /// Executes a [`ReadPlan`]: every entry is served — hit, store
+    /// read, or error — **in plan order**, so the pool's hit/miss/
+    /// eviction sequence (and therefore every counter and the store's
+    /// own read accounting) is identical to fetching the plan's pages
+    /// one at a time. What batching adds:
+    ///
+    /// * runs of consecutive misses go to the store through one
+    ///   vectored [`PageStore::read_pages`] call when that provably
+    ///   cannot change behaviour (no eviction pressure, no torn-page
+    ///   verification in play);
+    /// * each entry's `value_hint` reaches the replacement policy at
+    ///   admission ([`ReplacementPolicy::on_insert_hinted`]), so a
+    ///   hint-aware policy values the page *before* any later eviction
+    ///   decision;
+    /// * a duplicated page id costs one load and one hit — the second
+    ///   occurrence finds the first's frame resident.
+    ///
+    /// Errors abort the remainder of the plan; entries already served
+    /// keep their effects, exactly as sequential fetches would.
+    pub fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        self.metrics.batches.inc();
+        self.metrics.batch_pages.record(plan.len() as u64);
+        let entries = plan.entries();
+        let mut out = Vec::with_capacity(entries.len());
+        let mut i = 0;
+        while i < entries.len() {
+            let entry = entries[i];
+            // Vectored fast path: a maximal run of distinct,
+            // non-resident pages that all fit without eviction. Under
+            // those conditions the sequential execution would never
+            // evict (occupancy stays under capacity) and never verify
+            // checksums (the store cannot tear), so reading the run in
+            // one store call and installing in order is
+            // behaviour-identical.
+            if !self.frames.contains_key(&entry.page) && !self.store.can_tear() {
+                let budget = self.capacity.saturating_sub(self.frames.len());
+                let mut seen: HashSet<PageId> =
+                    HashSet::with_capacity(budget.min(entries.len() - i));
+                let mut end = i;
+                while end < entries.len()
+                    && end - i < budget
+                    && !self.frames.contains_key(&entries[end].page)
+                    && seen.insert(entries[end].page)
+                {
+                    end += 1;
+                }
+                if end > i {
+                    let ids: Vec<PageId> = entries[i..end].iter().map(|e| e.page).collect();
+                    let results = self.store.read_pages(&ids);
+                    debug_assert!(!results.is_empty(), "read_pages returned nothing");
+                    let served = results.len();
+                    for (k, result) in results.into_iter().enumerate() {
+                        let entry = entries[i + k];
+                        self.metrics.requests.inc();
+                        let page = match result {
+                            Ok(page) => page,
+                            // The failed attempt already happened
+                            // inside `read_pages`; resume the retry
+                            // loop exactly where `read_with_retry`
+                            // would be after its first failure.
+                            Err(e) => self.retry_after(entry.page, e)?,
+                        };
+                        self.install_hinted(page.clone(), false, entry.value_hint);
+                        out.push((page, FetchOutcome::Miss));
+                    }
+                    i += served;
+                    continue;
+                }
+            }
+            // Per-entry path: resident pages (hits — including a page a
+            // duplicate plan entry just installed), eviction pressure,
+            // or a tearing store. Exactly the single-fetch protocol.
+            let (page, outcome) = self.fetch_one_hinted(entry)?;
+            out.push((page, outcome));
+            i += 1;
+        }
+        Ok(out)
     }
 
     /// One store read, rejecting torn deliveries: a page whose content
@@ -222,25 +310,39 @@ impl<S: PageStore> BufferManager<S> {
     /// times with the configured backoff; terminal errors and
     /// exhausted budgets propagate.
     fn read_with_retry(&mut self, id: PageId) -> IrResult<Page> {
+        match self.read_verified(id) {
+            Ok(page) => Ok(page),
+            Err(e) => self.retry_after(id, e),
+        }
+    }
+
+    /// Continues the retry loop for `id` after its first read attempt
+    /// already failed with `first_err` (either inside
+    /// [`read_with_retry`](Self::read_with_retry) or inside a vectored
+    /// [`PageStore::read_pages`] call): transient failures are retried
+    /// up to `max_retries` times with the configured backoff; terminal
+    /// errors and exhausted budgets propagate.
+    fn retry_after(&mut self, id: PageId, first_err: IrError) -> IrResult<Page> {
         let policy = self.fetch_policy;
+        let mut err = first_err;
         let mut attempt = 0u32;
         loop {
+            if !err.is_transient() {
+                return Err(err);
+            }
+            if attempt >= policy.max_retries {
+                self.metrics.gave_up.inc();
+                return Err(err);
+            }
+            attempt += 1;
+            self.metrics.retries.inc();
+            self.notify(BufferEvent::Retry(id));
+            if let Some(d) = policy.backoff.delay(attempt) {
+                std::thread::sleep(d);
+            }
             match self.read_verified(id) {
                 Ok(page) => return Ok(page),
-                Err(e) if e.is_transient() && attempt < policy.max_retries => {
-                    attempt += 1;
-                    self.metrics.retries.inc();
-                    self.notify(BufferEvent::Retry(id));
-                    if let Some(d) = policy.backoff.delay(attempt) {
-                        std::thread::sleep(d);
-                    }
-                }
-                Err(e) => {
-                    if e.is_transient() {
-                        self.metrics.gave_up.inc();
-                    }
-                    return Err(e);
-                }
+                Err(e) => err = e,
             }
         }
     }
@@ -275,9 +377,23 @@ impl<S: PageStore> BufferManager<S> {
     /// store-less admit path (a `Borrow`) from a completed miss (a
     /// `Load` — i.e. a disk read).
     fn install(&mut self, page: Page, borrowed: bool) {
+        self.install_hinted(page, borrowed, None);
+    }
+
+    /// [`install`](Self::install) with a read-plan value hint handed to
+    /// the policy at admission. When the policy reports the value it
+    /// actually assigned, the |assigned − hinted·w*| gap feeds the
+    /// hint-accuracy counters.
+    fn install_hinted(&mut self, page: Page, borrowed: bool, hint: Option<f64>) {
         let id = page.id();
         *self.resident_per_term.entry(id.term).or_insert(0) += 1;
-        self.policy.on_insert(&page);
+        let assigned = self.policy.on_insert_hinted(&page, hint);
+        if let (Some(h), Some(actual)) = (hint, assigned) {
+            let estimated = page.max_weight() * h;
+            let err_milli = ((estimated - actual).abs() * 1000.0).round() as u64;
+            self.metrics.hint_abs_error_milli.add(err_milli);
+            self.metrics.hinted_inserts.inc();
+        }
         self.frames.insert(id, page);
         if borrowed {
             self.metrics.borrows.inc();
@@ -949,6 +1065,211 @@ mod tests {
         assert_eq!(exp.delay(3), Some(ms(8)));
         assert_eq!(exp.delay(4), Some(ms(10)), "capped");
         assert_eq!(exp.delay(40), Some(ms(10)), "huge attempts stay capped");
+    }
+
+    #[test]
+    fn fetch_batch_preserves_flooding_read_counts() {
+        // Capacity 4, plan [p0..p3, p0..p3] under LRU: sequential
+        // fetches give 8 misses on the first pass... no — capacity 4
+        // holds all four, so pass two is 4 hits. The interesting case
+        // is capacity 3: LRU floods, every fetch of the cycle misses.
+        // A batch that resolved hits up front would wrongly serve the
+        // second pass from frames that sequential execution has already
+        // evicted.
+        let mut seq = BufferManager::new(store(1, 4), 3, PolicyKind::Lru).unwrap();
+        let mut plan = ReadPlan::new();
+        for pass in 0..2 {
+            let _ = pass;
+            for p in 0..4 {
+                plan.push(PlanEntry::new(pid(0, p)));
+            }
+        }
+        for entry in plan.iter() {
+            seq.fetch(entry.page).unwrap();
+        }
+        let mut batched = BufferManager::new(store(1, 4), 3, PolicyKind::Lru).unwrap();
+        let out = batched.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|(_, o)| *o == FetchOutcome::Miss));
+        assert_eq!(batched.stats(), seq.stats());
+        assert_eq!(
+            batched.store().stats().reads,
+            seq.store().stats().reads,
+            "batched reads must equal sequential reads under flooding"
+        );
+        assert_eq!(batched.resident_ids(), seq.resident_ids());
+        assert_eq!(batched.metrics().batches.get(), 1);
+        assert_eq!(batched.metrics().batch_pages.sum(), 8);
+    }
+
+    #[test]
+    fn fetch_batch_duplicate_page_counts_one_load_one_hit() {
+        let mut bm = BufferManager::new(store(1, 4), 4, PolicyKind::Lru).unwrap();
+        let plan: ReadPlan = [pid(0, 0), pid(0, 0)]
+            .into_iter()
+            .map(PlanEntry::new)
+            .collect();
+        let out = bm.fetch_batch(&plan).unwrap();
+        assert_eq!(out[0].1, FetchOutcome::Miss);
+        assert_eq!(out[1].1, FetchOutcome::Hit);
+        let s = bm.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(bm.store().stats().reads, 1, "one load, not two");
+    }
+
+    #[test]
+    fn fetch_batch_batches_sequential_store_reads() {
+        // A cold scan that fits in the pool goes to the store as one
+        // vectored call, classified fully sequential after the first
+        // page.
+        let mut bm = BufferManager::new(store(1, 6), 8, PolicyKind::Lru).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(0), 6, None);
+        let out = bm.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 6);
+        let ds = bm.store().stats();
+        assert_eq!(ds.reads, 6);
+        assert_eq!(ds.sequential_reads, 5);
+        let s = bm.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (6, 0, 6));
+        // Rescan: all hits, no store traffic.
+        let out = bm.fetch_batch(&plan).unwrap();
+        assert!(out.iter().all(|(_, o)| *o == FetchOutcome::Hit));
+        assert_eq!(bm.store().stats().reads, 6);
+        assert_eq!(bm.metrics().batches.get(), 2);
+    }
+
+    #[test]
+    fn fetch_batch_error_preserves_prefix() {
+        let failing = FailingStore {
+            inner: store(1, 4),
+            allow: std::cell::Cell::new(2),
+        };
+        let mut bm = BufferManager::new(failing, 4, PolicyKind::Lru).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(0), 4, None);
+        let err = bm.fetch_batch(&plan).unwrap_err();
+        assert!(matches!(err, IrError::CorruptPage { .. }));
+        // The two delivered pages keep their frames and counters, the
+        // failed and unattempted entries leave no trace — identical to
+        // the sequential outcome.
+        assert_eq!(bm.len(), 2);
+        assert_eq!(bm.resident_pages(TermId(0)), 2);
+        let s = bm.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (3, 0, 2));
+    }
+
+    #[test]
+    fn fetch_batch_retries_transient_faults_mid_run() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            seed: 2,
+            transient_rate: 1.0,
+            max_consecutive_faults: 2,
+            ..FaultConfig::DISABLED
+        };
+        // Transient-only faults: can_tear() is false, so the vectored
+        // path runs and must recover in-place via the resume-retry arm.
+        let faulty = FaultStore::new(store(1, 4), cfg);
+        assert!(!faulty.can_tear());
+        let mut bm = BufferManager::new(faulty, 8, PolicyKind::Lru).unwrap();
+        bm.set_fetch_policy(FetchPolicy::retries(2));
+        let plan = ReadPlan::for_term_pages(TermId(0), 4, None);
+        let out = bm.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(_, o)| *o == FetchOutcome::Miss));
+        assert!(bm.metrics().retries.get() > 0, "seed must exercise retries");
+        assert_eq!(bm.metrics().gave_up.get(), 0);
+        // Sequential reference run over a store with identical fault
+        // schedule: metrics must match exactly.
+        let reference = FaultStore::new(store(1, 4), cfg);
+        let mut seq = BufferManager::new(reference, 8, PolicyKind::Lru).unwrap();
+        seq.set_fetch_policy(FetchPolicy::retries(2));
+        for p in 0..4 {
+            seq.fetch(pid(0, p)).unwrap();
+        }
+        assert_eq!(bm.metrics().retries.get(), seq.metrics().retries.get());
+        assert_eq!(bm.stats(), seq.stats());
+    }
+
+    #[test]
+    fn fetch_batch_on_tearing_store_takes_per_entry_path() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            seed: 9,
+            torn_rate: 0.4,
+            max_consecutive_faults: 2,
+            ..FaultConfig::DISABLED
+        };
+        let faulty = FaultStore::new(store(1, 4), cfg);
+        assert!(faulty.can_tear());
+        let mut bm = BufferManager::new(faulty, 8, PolicyKind::Lru).unwrap();
+        bm.set_fetch_policy(FetchPolicy::retries(2));
+        let plan = ReadPlan::for_term_pages(TermId(0), 4, None);
+        let out = bm.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(
+            out.iter().all(|(p, _)| p.is_intact()),
+            "no torn page may reach the caller"
+        );
+        // Identical to the sequential run under the same schedule.
+        let mut seq =
+            BufferManager::new(FaultStore::new(store(1, 4), cfg), 8, PolicyKind::Lru).unwrap();
+        seq.set_fetch_policy(FetchPolicy::retries(2));
+        for p in 0..4 {
+            seq.fetch(pid(0, p)).unwrap();
+        }
+        assert_eq!(
+            bm.metrics().torn_pages.get(),
+            seq.metrics().torn_pages.get()
+        );
+        assert_eq!(bm.stats(), seq.stats());
+    }
+
+    #[test]
+    fn fetch_batch_hint_reaches_rap_and_error_counters() {
+        let mut bm = BufferManager::new(store(2, 3), 4, PolicyKind::Rap).unwrap();
+        // No begin_query: only the hint values the pages.
+        let plan = ReadPlan::for_term_pages(TermId(0), 2, Some(2.0));
+        bm.fetch_batch(&plan).unwrap();
+        assert_eq!(bm.metrics().hinted_inserts.get(), 2);
+        assert_eq!(
+            bm.metrics().hint_abs_error_milli.get(),
+            0,
+            "no announced query: assigned value == hinted value"
+        );
+        // Announce a query that disagrees with the hint: the policy's
+        // assigned value wins and the gap is recorded.
+        let weights: HashMap<TermId, f64> = [(TermId(1), 1.0)].into_iter().collect();
+        bm.begin_query(&weights);
+        // Page (1,0) has max_freq 3, idf 1.0 → w* = 3. Announced value
+        // 3·1 = 3; hinted estimate 3·2 = 6; |6−3| = 3.0 → 3000 milli.
+        bm.fetch_batch(&ReadPlan::single_hinted(pid(1, 0), 2.0))
+            .unwrap();
+        assert_eq!(bm.metrics().hinted_inserts.get(), 3);
+        assert_eq!(bm.metrics().hint_abs_error_milli.get(), 3000);
+    }
+
+    #[test]
+    fn fetch_batch_empty_plan_is_a_noop() {
+        let mut bm = BufferManager::new(store(1, 1), 1, PolicyKind::Lru).unwrap();
+        let out = bm.fetch_batch(&ReadPlan::new()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(bm.stats(), BufferStats::default());
+        assert_eq!(bm.metrics().batches.get(), 1);
+        assert_eq!(bm.metrics().batch_pages.count(), 1);
+    }
+
+    #[test]
+    fn fetch_batch_all_pinned_pool_errors_without_reading() {
+        let mut bm = BufferManager::new(store(1, 2), 1, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap();
+        bm.pin(pid(0, 0));
+        let err = bm.fetch_batch(&ReadPlan::single(pid(0, 1))).unwrap_err();
+        assert!(matches!(err, IrError::NoEvictableFrame));
+        assert_eq!(
+            bm.store().stats().reads,
+            1,
+            "rejected batch entry must not read the store"
+        );
     }
 
     #[test]

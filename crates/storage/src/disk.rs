@@ -33,6 +33,29 @@ pub trait PageStore {
     fn can_tear(&self) -> bool {
         false
     }
+
+    /// Vectored read: fetches `ids` **in order**, stopping at the first
+    /// failure. The result is always a prefix of successes optionally
+    /// followed by exactly one `Err`; ids after a failure are never
+    /// attempted, so a store's per-read accounting (counters, fault
+    /// draws, head position) sees exactly the same sequence as `ids`
+    /// issued through [`read_page`](Self::read_page) one at a time.
+    ///
+    /// The default implementation is that loop; stores with per-call
+    /// overhead (a lock, a syscall) may batch internally as long as
+    /// they preserve the in-order prefix contract.
+    fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        let mut out = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let result = self.read_page(id);
+            let failed = result.is_err();
+            out.push(result);
+            if failed {
+                break;
+            }
+        }
+        out
+    }
 }
 
 /// Cumulative disk counters.
@@ -144,6 +167,53 @@ impl PageStore for DiskSim {
     fn n_lists(&self) -> usize {
         self.lists.len()
     }
+
+    /// Batched read taking the state lock once for the whole run.
+    /// Counter updates and the sequential/random classification happen
+    /// per page, in order, so the stats are identical to issuing the
+    /// same ids through `read_page` one at a time.
+    fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut state = self.state.lock();
+        for &id in ids {
+            let page = self
+                .lists
+                .get(id.term.index())
+                .ok_or(IrError::UnknownTerm(id.term))
+                .and_then(|list| {
+                    list.get(id.page.index())
+                        .ok_or(IrError::PageOutOfRange {
+                            page: id,
+                            list_len: list.len() as u32,
+                        })
+                        .cloned()
+                });
+            match page {
+                Ok(page) => {
+                    state.stats.reads += 1;
+                    state.stats.entries_read += page.len() as u64;
+                    let sequential = matches!(
+                        state.last,
+                        Some(prev) if prev.term == id.term && prev.page.0 + 1 == id.page.0
+                    );
+                    if sequential {
+                        state.stats.sequential_reads += 1;
+                    } else {
+                        state.stats.random_reads += 1;
+                    }
+                    state.last = Some(id);
+                    out.push(Ok(page));
+                }
+                Err(e) => {
+                    // Errors bump nothing (matching `read_page`) and
+                    // end the batch: prefix-of-successes contract.
+                    out.push(Err(e));
+                    break;
+                }
+            }
+        }
+        out
+    }
 }
 
 impl<S: PageStore + ?Sized> PageStore for &S {
@@ -162,6 +232,10 @@ impl<S: PageStore + ?Sized> PageStore for &S {
     fn can_tear(&self) -> bool {
         (**self).can_tear()
     }
+
+    fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        (**self).read_pages(ids)
+    }
 }
 
 impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
@@ -179,6 +253,10 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
 
     fn can_tear(&self) -> bool {
         (**self).can_tear()
+    }
+
+    fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        (**self).read_pages(ids)
     }
 }
 
@@ -273,6 +351,44 @@ mod tests {
         d.read_page(PageId::new(TermId(0), 0)).unwrap();
         d.reset_stats();
         assert_eq!(d.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn read_pages_matches_sequential_reads() {
+        let batched = tiny_store(2, 3);
+        let sequential = tiny_store(2, 3);
+        let ids = [
+            PageId::new(TermId(0), 0),
+            PageId::new(TermId(0), 1),
+            PageId::new(TermId(1), 0),
+            PageId::new(TermId(1), 1),
+            PageId::new(TermId(1), 2),
+        ];
+        let batch = batched.read_pages(&ids);
+        assert_eq!(batch.len(), 5);
+        for (id, result) in ids.iter().zip(&batch) {
+            let single = sequential.read_page(*id).unwrap();
+            assert_eq!(result.as_ref().unwrap().id(), single.id());
+        }
+        // Same reads, same order ⇒ identical classification.
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(batched.stats().sequential_reads, 3);
+    }
+
+    #[test]
+    fn read_pages_stops_at_first_error() {
+        let d = tiny_store(1, 2);
+        let ids = [
+            PageId::new(TermId(0), 0),
+            PageId::new(TermId(0), 9), // out of range
+            PageId::new(TermId(0), 1), // never attempted
+        ];
+        let out = d.read_pages(&ids);
+        assert_eq!(out.len(), 2, "prefix of successes plus one error");
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(IrError::PageOutOfRange { .. })));
+        // Only the successful read counted.
+        assert_eq!(d.stats().reads, 1);
     }
 
     #[test]

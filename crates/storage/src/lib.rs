@@ -45,4 +45,4 @@ pub use page::Page;
 pub use partition::PartitionedBuffer;
 pub use policy::{PolicyKind, ReplacementPolicy};
 pub use shared::{PartitionHandle, QueryBuffer, SharedBufferManager, SharedPartitionedBuffer};
-pub use stats::{BufferMetrics, BufferStats};
+pub use stats::{BufferMetrics, BufferStats, BATCH_PAGES_BOUNDS};

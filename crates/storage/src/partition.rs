@@ -15,7 +15,7 @@ use crate::disk::PageStore;
 use crate::page::Page;
 use crate::policy::PolicyKind;
 use crate::stats::BufferStats;
-use ir_types::{IrError, IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -88,6 +88,53 @@ impl<S: PageStore> PartitionedBuffer<S> {
             return Ok((page, FetchOutcome::Borrowed));
         }
         self.partitions[pid].fetch_traced(id)
+    }
+
+    /// Executes a [`ReadPlan`] on behalf of partition `pid`. Entries
+    /// are served strictly in plan order, each with the full sibling
+    /// probe, so the outcome sequence is identical to per-page
+    /// [`fetch_traced`](Self::fetch_traced) calls — the probe must see
+    /// every earlier entry's effect on sibling partitions, which rules
+    /// out resolving borrows up front. Value hints reach `pid`'s own
+    /// policy on store misses; the batch is counted on `pid`'s metrics.
+    pub fn fetch_batch(
+        &mut self,
+        pid: PartitionId,
+        plan: &ReadPlan,
+    ) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        let n = self.partitions.len();
+        if pid >= n {
+            return Err(IrError::InvalidConfig(format!(
+                "partition {pid} out of range (have {n})"
+            )));
+        }
+        {
+            let m = self.partitions[pid].metrics();
+            m.batches.inc();
+            m.batch_pages.record(plan.len() as u64);
+        }
+        let mut out = Vec::with_capacity(plan.len());
+        for entry in plan.iter() {
+            let id = entry.page;
+            if self.partitions[pid].is_resident(id) {
+                out.push(self.partitions[pid].fetch_traced(id)?);
+                continue;
+            }
+            let sibling = (0..n)
+                .filter(|p| *p != pid)
+                .find(|p| self.partitions[*p].is_resident(id));
+            if let Some(sp) = sibling {
+                let page = self.partitions[sp]
+                    .peek(id)
+                    .expect("sibling probe found the page resident");
+                self.partitions[pid].admit(page)?;
+                let (page, _) = self.partitions[pid].fetch_traced(id)?;
+                out.push((page, FetchOutcome::Borrowed));
+                continue;
+            }
+            out.push(self.partitions[pid].fetch_one_hinted(*entry)?);
+        }
+        Ok(out)
     }
 
     /// Sets the store-read retry policy on every partition.
@@ -291,6 +338,41 @@ mod tests {
         assert_eq!(t.misses, 2);
         pb.flush_all();
         assert_eq!(pb.n_partitions(), 2);
+    }
+
+    #[test]
+    fn fetch_batch_borrows_from_siblings_in_order() {
+        let s = store(1, 4);
+        let mut pb = PartitionedBuffer::new(Arc::clone(&s), 2, 3, PolicyKind::Lru).unwrap();
+        // Partition 0 loads pages 0 and 1 from the store.
+        pb.fetch(0, pid(0, 0)).unwrap();
+        pb.fetch(0, pid(0, 1)).unwrap();
+        let reads_before = s.stats().reads;
+        // Partition 1 batches [0, 1, 2, 0]: two borrows, one store
+        // read, one local hit on the copy admitted by entry 0.
+        let plan: ir_types::ReadPlan = [pid(0, 0), pid(0, 1), pid(0, 2), pid(0, 0)]
+            .into_iter()
+            .map(ir_types::PlanEntry::new)
+            .collect();
+        let out = pb.fetch_batch(1, &plan).unwrap();
+        let outcomes: Vec<FetchOutcome> = out.iter().map(|(_, o)| *o).collect();
+        assert_eq!(
+            outcomes,
+            [
+                FetchOutcome::Borrowed,
+                FetchOutcome::Borrowed,
+                FetchOutcome::Miss,
+                FetchOutcome::Hit,
+            ]
+        );
+        assert_eq!(s.stats().reads, reads_before + 1, "borrows skip the store");
+        assert_eq!(pb.borrows(1), 2);
+        // The batch and its size land on the owning partition.
+        assert_eq!(pb.partitions[1].metrics().batches.get(), 1);
+        assert_eq!(pb.partitions[1].metrics().batch_pages.sum(), 4);
+        assert_eq!(pb.partitions[0].metrics().batches.get(), 0);
+        // Out-of-range pid is rejected up front.
+        assert!(pb.fetch_batch(7, &plan).is_err());
     }
 
     #[test]

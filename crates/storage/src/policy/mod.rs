@@ -80,6 +80,24 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
         let _ = weights;
     }
+
+    /// A page became resident, with the read plan's value hint (the
+    /// planning query's `w_{q,t}` for the page's term) if the planner
+    /// supplied one.
+    ///
+    /// Returns the replacement value the policy actually assigned, for
+    /// hint-accuracy accounting — `None` from policies without a value
+    /// notion. The default ignores the hint and delegates to
+    /// [`on_insert`](Self::on_insert); a hint-aware policy (RAP) may
+    /// use the hint to value a page whose query was never announced via
+    /// [`begin_query`](Self::begin_query). An announced query always
+    /// wins over the hint, which keeps hinted and unhinted fetches
+    /// identical in the normal announce-then-scan protocol.
+    fn on_insert_hinted(&mut self, page: &Page, value_hint: Option<f64>) -> Option<f64> {
+        let _ = value_hint;
+        self.on_insert(page);
+        None
+    }
 }
 
 /// Selector for the available policies; the unit of configuration in

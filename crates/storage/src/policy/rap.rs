@@ -70,6 +70,27 @@ impl Rap {
         )
     }
 
+    fn key_for_value(&self, id: PageId, value: f64) -> RapKey {
+        (OrdF64(value), Reverse(id.page.0), id.term.0)
+    }
+
+    /// Tracks `id` at an explicit replacement value instead of the one
+    /// derived from the announced query — the hinted-admission path for
+    /// pages whose query context arrived with the read plan rather than
+    /// through [`begin_query`](ReplacementPolicy::begin_query). A later
+    /// `begin_query` re-keys the page from `max_weight` as usual, so
+    /// the hint only stands in until the query is announced.
+    fn insert_valued(&mut self, id: PageId, max_weight: f64, value: f64) {
+        let key = self.key_for_value(id, value);
+        if let Some(old) = self.keys.insert(id, key) {
+            if old != key {
+                self.by_value.remove(&old);
+            }
+        }
+        self.by_value.insert(key, id);
+        self.max_weights.insert(id, max_weight);
+    }
+
     fn insert_keyed(&mut self, id: PageId, max_weight: f64) {
         let key = self.key_of(id, max_weight);
         // A re-insert must drop the page's previous queue entry, or the
@@ -98,6 +119,25 @@ impl ReplacementPolicy for Rap {
 
     fn on_insert(&mut self, page: &Page) {
         self.insert_keyed(page.id(), page.max_weight());
+    }
+
+    fn on_insert_hinted(&mut self, page: &Page, value_hint: Option<f64>) -> Option<f64> {
+        let id = page.id();
+        let max_weight = page.max_weight();
+        // An announced query is authoritative: the hint is the same
+        // `w_{q,t}` the announcement carries, so using the announced
+        // weight keeps hinted and unhinted admission identical. The
+        // hint only fills in when the term is absent from the current
+        // query context (e.g. the query was never announced).
+        let value = if self.query_weights.contains_key(&id.term) {
+            self.value_of(id, max_weight)
+        } else if let Some(hint) = value_hint {
+            max_weight * hint
+        } else {
+            self.value_of(id, max_weight)
+        };
+        self.insert_valued(id, max_weight, value);
+        Some(value)
     }
 
     fn on_hit(&mut self, _page: &Page) {
@@ -261,6 +301,36 @@ mod tests {
         p.on_insert(&v1);
         assert_eq!(p.choose_victim(&|_| false), Some(v1.id()));
         assert_eq!(p.choose_victim(&|_| false), None);
+    }
+
+    #[test]
+    fn hinted_insert_values_unannounced_terms() {
+        let mut p = Rap::new();
+        // No begin_query: an unhinted insert values to 0, a hinted one
+        // to max_weight · hint.
+        let cold = page(0, 0, 4, 1.0); // w* = 4
+        let hinted = page(1, 0, 4, 1.0); // w* = 4
+        assert_eq!(p.on_insert_hinted(&cold, None), Some(0.0));
+        assert_eq!(p.on_insert_hinted(&hinted, Some(0.5)), Some(2.0));
+        assert_eq!(p.current_value(hinted.id()), Some(2.0));
+        // The unvalued page goes first.
+        assert_eq!(p.choose_victim(&|_| false), Some(cold.id()));
+    }
+
+    #[test]
+    fn announced_query_overrides_the_hint() {
+        let mut p = Rap::new();
+        p.begin_query(&weights(&[(0, 2.0)]));
+        let a = page(0, 0, 3, 1.0); // w* = 3, announced w_q = 2
+                                    // A (stale) hint of 9.9 must lose to the announced weight.
+        assert_eq!(p.on_insert_hinted(&a, Some(9.9)), Some(6.0));
+        assert_eq!(p.current_value(a.id()), Some(6.0));
+        // Re-announcing re-keys from max_weight, replacing any hinted
+        // value.
+        let b = page(1, 0, 5, 1.0);
+        p.on_insert_hinted(&b, Some(1.0)); // hinted to 5
+        p.begin_query(&weights(&[(1, 3.0)]));
+        assert_eq!(p.current_value(b.id()), Some(15.0));
     }
 
     #[test]

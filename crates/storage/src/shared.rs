@@ -20,7 +20,7 @@ use crate::disk::PageStore;
 use crate::page::Page;
 use crate::partition::{PartitionId, PartitionedBuffer};
 use crate::stats::BufferStats;
-use ir_types::{IrError, IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,6 +42,19 @@ pub trait QueryBuffer {
     /// section, so attribution is exact for the calling session even
     /// when other sessions hammer the same pool concurrently.
     fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)>;
+
+    /// Executes a [`ReadPlan`], serving every entry in plan order and
+    /// reporting each entry's outcome. Shared implementations take
+    /// their lock **once for the whole batch**, so a plan is a single
+    /// critical section rather than one per page. The default serves
+    /// the plan entry-by-entry through
+    /// [`fetch_traced`](Self::fetch_traced) (hints are dropped) —
+    /// correct for any implementation, batched for none.
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        plan.iter()
+            .map(|entry| self.fetch_traced(entry.page))
+            .collect()
+    }
 
     /// `b_t`: resident page count of `term`'s inverted list.
     fn resident_pages(&self, term: TermId) -> u32;
@@ -67,6 +80,10 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
 
     fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
         BufferManager::fetch_traced(self, id)
+    }
+
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        BufferManager::fetch_batch(self, plan)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -149,6 +166,12 @@ impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
 
     fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
         self.inner.lock().fetch_traced(id)
+    }
+
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        // One lock acquisition for the whole plan: the batch is the
+        // critical section, not each page.
+        self.inner.lock().fetch_batch(plan)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -252,6 +275,10 @@ impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
 
     fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
         self.pool.lock().fetch_traced(self.pid, id)
+    }
+
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        self.pool.lock().fetch_batch(self.pid, plan)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {

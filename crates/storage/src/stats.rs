@@ -6,8 +6,13 @@
 //! snapshot (loads vs. sibling borrows, evictions split head/tail,
 //! pinned-victim skips).
 
-use ir_observe::{Counter, MetricsSnapshot, Registry};
+use ir_observe::{Counter, Histogram, MetricsSnapshot, Registry};
 use serde::Serialize;
+
+/// Bucket bounds for the pages-per-batch histogram: powers of two up
+/// to a generously sized plan (larger batches land in the overflow
+/// bucket).
+pub const BATCH_PAGES_BOUNDS: [u64; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
 
 /// Cumulative buffer-pool statistics.
 ///
@@ -91,6 +96,20 @@ pub struct BufferMetrics {
     /// Deliveries rejected because the page content failed checksum
     /// verification (torn reads).
     pub torn_pages: Counter,
+    /// Read plans executed through `fetch_batch` (single-page fetches
+    /// do not count).
+    pub batches: Counter,
+    /// Plan sizes (entries per executed batch), as a histogram.
+    pub batch_pages: Histogram,
+    /// Σ |value assigned − hinted value| over hinted admissions where
+    /// the policy reported its assigned value, in milli-units (×1000,
+    /// rounded) so the fixed-point total fits a counter. Divide by
+    /// [`hinted_inserts`](Self::hinted_inserts) for the mean absolute
+    /// hint error.
+    pub hint_abs_error_milli: Counter,
+    /// Hinted admissions that produced a policy-reported value (the
+    /// denominator for the hint-error mean).
+    pub hinted_inserts: Counter,
 }
 
 impl Default for BufferMetrics {
@@ -120,6 +139,10 @@ impl BufferMetrics {
             retries: registry.counter("buffer.retries"),
             gave_up: registry.counter("buffer.gave_up"),
             torn_pages: registry.counter("buffer.torn_pages"),
+            batches: registry.counter("buffer.batches"),
+            batch_pages: registry.histogram("buffer.batch_pages", &BATCH_PAGES_BOUNDS),
+            hint_abs_error_milli: registry.counter("buffer.hint_abs_error_milli"),
+            hinted_inserts: registry.counter("buffer.hinted_inserts"),
         }
     }
 
@@ -228,5 +251,27 @@ mod tests {
         assert_eq!(d.counter("buffer.retries"), Some(3));
         assert_eq!(d.counter("buffer.gave_up"), Some(1));
         assert_eq!(d.counter("buffer.torn_pages"), Some(2));
+    }
+
+    #[test]
+    fn batch_metrics_register_and_record() {
+        let m = BufferMetrics::new();
+        m.batches.inc();
+        m.batch_pages.record(3);
+        m.batch_pages.record(200);
+        m.hint_abs_error_milli.add(1500);
+        m.hinted_inserts.add(2);
+        let d = m.dump();
+        assert_eq!(d.counter("buffer.batches"), Some(1));
+        assert_eq!(d.counter("buffer.hint_abs_error_milli"), Some(1500));
+        assert_eq!(d.counter("buffer.hinted_inserts"), Some(2));
+        let h = d
+            .histograms
+            .iter()
+            .find(|h| h.name == "buffer.batch_pages")
+            .expect("batch_pages registered");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 203);
+        assert_eq!(h.bounds, BATCH_PAGES_BOUNDS.to_vec());
     }
 }

@@ -6,9 +6,9 @@
 
 use ir_storage::{
     BufferEvent, BufferManager, BufferObserver, DiskSim, EventCounts, FaultConfig, FaultStore,
-    FetchPolicy, Page, PolicyKind,
+    FetchOutcome, FetchPolicy, Page, PageStore, PolicyKind,
 };
-use ir_types::{PageId, Posting, TermId};
+use ir_types::{PageId, PlanEntry, Posting, ReadPlan, TermId};
 use proptest::{collection, proptest, ProptestConfig};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
@@ -44,6 +44,83 @@ fn store() -> DiskSim {
 fn page(t: u32, p: u32) -> Page {
     let postings: Vec<Posting> = vec![Posting::new(p, PAGES_PER_TERM - p)];
     Page::new(PageId::new(TermId(t), p), postings.into(), f64::from(t + 1))
+}
+
+/// Drives `plain` with `fetch_traced` and `batched` with one-entry
+/// [`ReadPlan`]s over the same request stream, then asserts the two
+/// pools are indistinguishable: delivered bytes, fetch outcomes, the
+/// full event log, and every metric that predates batching. Only the
+/// batch counters themselves may differ — they exist solely on the
+/// batched path.
+fn assert_singleton_plans_match_fetch<S: PageStore>(
+    mut plain: BufferManager<S>,
+    mut batched: BufferManager<S>,
+    ops: &[(u32, u32)],
+    kind: PolicyKind,
+) {
+    let plain_log = SharedLog::default();
+    plain.set_observer(Box::new(plain_log.clone()));
+    let batched_log = SharedLog::default();
+    batched.set_observer(Box::new(batched_log.clone()));
+    for (t, p) in ops {
+        let id = PageId::new(TermId(*t), *p);
+        let (pa, ha) = plain.fetch_traced(id).unwrap();
+        let mut out = batched
+            .fetch_batch(&ReadPlan::single(id))
+            .unwrap_or_else(|e| panic!("{kind}: singleton batch failed: {e}"));
+        assert_eq!(out.len(), 1, "{kind}: one entry, one result");
+        let (pb, hb) = out.pop().unwrap();
+        assert_eq!(ha, hb, "{kind}: fetch outcome differs for {id:?}");
+        assert_eq!(
+            pa.postings(),
+            pb.postings(),
+            "{kind}: delivered bytes differ"
+        );
+    }
+    assert_eq!(
+        *plain_log.0.lock().unwrap(),
+        *batched_log.0.lock().unwrap(),
+        "{kind}: event logs differ"
+    );
+    let (ma, mb) = (plain.metrics(), batched.metrics());
+    assert_eq!(ma.loads.get(), mb.loads.get(), "{kind}: loads");
+    assert_eq!(ma.hits.get(), mb.hits.get(), "{kind}: hits");
+    assert_eq!(ma.borrows.get(), mb.borrows.get(), "{kind}: borrows");
+    assert_eq!(
+        ma.evictions_head.get(),
+        mb.evictions_head.get(),
+        "{kind}: head evictions"
+    );
+    assert_eq!(
+        ma.evictions_tail.get(),
+        mb.evictions_tail.get(),
+        "{kind}: tail evictions"
+    );
+    assert_eq!(ma.skip_pinned.get(), mb.skip_pinned.get(), "{kind}: skips");
+    assert_eq!(ma.retries.get(), mb.retries.get(), "{kind}: retries");
+    assert_eq!(ma.gave_up.get(), mb.gave_up.get(), "{kind}: gave up");
+    assert_eq!(ma.torn_pages.get(), mb.torn_pages.get(), "{kind}: torn");
+    let (sa, sb) = (plain.stats(), batched.stats());
+    assert_eq!(
+        (sa.requests, sa.hits, sa.misses, sa.evictions),
+        (sb.requests, sb.hits, sb.misses, sb.evictions),
+        "{kind}: snapshot stats differ"
+    );
+    assert_eq!(
+        plain.resident_ids(),
+        batched.resident_ids(),
+        "{kind}: resident sets differ"
+    );
+    assert_eq!(
+        mb.batches.get(),
+        ops.len() as u64,
+        "{kind}: one batch per singleton plan"
+    );
+    assert_eq!(
+        ma.batches.get(),
+        0,
+        "{kind}: plain fetches issue no batches"
+    );
 }
 
 proptest! {
@@ -277,6 +354,86 @@ proptest! {
                 );
             }
             assert_eq!(faulty.metrics().gave_up.get(), 0, "{kind}: budget covers the cap");
+        }
+    }
+
+    /// Duplicate-page accounting: a plan naming the same page more
+    /// than once performs ONE store read — every later occurrence is a
+    /// buffer hit. (The pre-batching draft double-counted the reload,
+    /// charging two loads for one resident page.)
+    #[test]
+    fn duplicate_pages_in_one_batch_load_once(
+        capacity in 2usize..6,
+        t in 0u32..N_TERMS,
+        p in 0u32..PAGES_PER_TERM,
+        dupes in 1usize..4,
+        hinted in proptest::any::<bool>(),
+    ) {
+        for kind in PolicyKind::ALL {
+            let mut bm = BufferManager::new(store(), capacity, kind).unwrap();
+            let id = PageId::new(TermId(t), p);
+            let entry = if hinted {
+                PlanEntry::hinted(id, 0.5)
+            } else {
+                PlanEntry::new(id)
+            };
+            let plan: ReadPlan = (0..=dupes).map(|_| entry).collect();
+            let fetched = bm.fetch_batch(&plan).unwrap();
+            assert_eq!(fetched.len(), dupes + 1, "{kind}: every entry yields a page");
+            assert_eq!(
+                fetched[0].1,
+                FetchOutcome::Miss,
+                "{kind}: first occurrence loads"
+            );
+            for (pg, how) in &fetched[1..] {
+                assert_eq!(
+                    *how,
+                    FetchOutcome::Hit,
+                    "{kind}: a duplicate is a hit, never a second load"
+                );
+                assert_eq!(pg.id(), id, "{kind}: wrong page delivered");
+            }
+            let m = bm.metrics();
+            assert_eq!(m.loads.get(), 1, "{kind}: exactly one store read");
+            assert_eq!(m.hits.get(), dupes as u64, "{kind}: duplicates counted as hits");
+            let s = bm.stats();
+            assert_eq!(s.requests, dupes as u64 + 1, "{kind}: one request per entry");
+            assert_eq!(s.misses, 1, "{kind}: duplicate load double-counted");
+        }
+    }
+
+    /// Batched/plain equivalence (the refactor's core contract): a
+    /// pool driven by one-entry plans is metrics- and event-log-
+    /// identical to a twin driven by plain `fetch`, under every policy,
+    /// with and without seeded transient faults in the store.
+    #[test]
+    fn singleton_plan_batches_match_plain_fetch(
+        capacity in 2usize..6,
+        with_faults in proptest::any::<bool>(),
+        cap in 1u32..4,
+        seed in proptest::any::<u64>(),
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM), 1..60),
+    ) {
+        for kind in PolicyKind::ALL {
+            if with_faults {
+                let cfg = FaultConfig {
+                    seed,
+                    transient_rate: 1.0,
+                    max_consecutive_faults: cap,
+                    ..FaultConfig::DISABLED
+                };
+                let make = || {
+                    let mut bm =
+                        BufferManager::new(FaultStore::new(store(), cfg), capacity, kind)
+                            .unwrap();
+                    bm.set_fetch_policy(FetchPolicy::retries(cap));
+                    bm
+                };
+                assert_singleton_plans_match_fetch(make(), make(), &ops, kind);
+            } else {
+                let make = || BufferManager::new(store(), capacity, kind).unwrap();
+                assert_singleton_plans_match_fetch(make(), make(), &ops, kind);
+            }
         }
     }
 }

@@ -17,9 +17,11 @@ pub mod error;
 pub mod ids;
 pub mod params;
 pub mod posting;
+pub mod read_plan;
 pub mod weights;
 
 pub use error::{IrError, IrResult};
 pub use ids::{DocId, PageId, PageNo, TermId};
 pub use params::{FilterParams, IndexParams, ListOrdering, DEFAULT_PAGE_SIZE, DEFAULT_TOP_N};
 pub use posting::{doc_order, frequency_order, is_frequency_sorted, Posting};
+pub use read_plan::{PlanEntry, ReadPlan};
