@@ -9,6 +9,9 @@
 //!
 //! # Drive every policy × layout combination under seeded faults:
 //! cargo run --release -p ir-bench --bin bench -- chaos --seed 193
+//!
+//! # Sweep concurrent sessions over single-mutex vs. sharded pools:
+//! cargo run --release -p ir-bench --bin bench -- throughput --out BENCH_throughput.json
 //! ```
 //!
 //! Disk-read counts are deterministic and compared exactly; wall times
@@ -21,7 +24,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
        bench compare BASELINE CURRENT [--tolerance FRACTION]
-       bench chaos [--seed N] [--scale SIGMA]";
+       bench chaos [--seed N] [--scale SIGMA]
+       bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE]";
 
 fn run_report(args: &[String]) -> Result<(), String> {
     let mut scale = 1.0 / 16.0;
@@ -68,6 +72,13 @@ fn run_report(args: &[String]) -> Result<(), String> {
             m.name, m.ops, m.total_us, m.ops_per_sec
         );
     }
+    println!(
+        "server: {} sessions, {} queries in {} µs ({:.0} queries/s)",
+        report.server.sessions,
+        report.server.queries,
+        report.server.wall_us,
+        report.server.queries_per_sec
+    );
     std::fs::write(&out, to_json(&report) + "\n").map_err(|e| format!("writing {out}: {e}"))?;
     println!("report written to {out}");
     Ok(())
@@ -152,12 +163,74 @@ fn run_chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_throughput(args: &[String]) -> Result<(), String> {
+    let mut scale = 1.0 / 16.0;
+    let mut sessions = vec![1usize, 2, 4, 8];
+    let mut shards = 4usize;
+    let mut repeats = 3usize;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or("--scale needs a number in (0, 1]")?;
+            }
+            "--sessions" => {
+                i += 1;
+                sessions = args
+                    .get(i)
+                    .map(|s| s.split(',').map(|n| n.parse::<usize>()).collect())
+                    .transpose()
+                    .ok()
+                    .flatten()
+                    .filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|n| *n > 0))
+                    .ok_or("--sessions needs a comma-separated list of positive counts")?;
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0)
+                    .ok_or("--shards needs a positive integer")?;
+            }
+            "--repeats" => {
+                i += 1;
+                repeats = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0)
+                    .ok_or("--repeats needs a positive integer")?;
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).ok_or("--out needs a file path")?.clone();
+            }
+            other => return Err(format!("unknown throughput flag {other:?}")),
+        }
+        i += 1;
+    }
+    let (text, report) = ir_bench::throughput::run(scale, &sessions, shards, repeats)?;
+    // stdout carries only the deterministic block (CI diffs two runs);
+    // everything timed lives in the JSON artifact.
+    print!("{text}");
+    std::fs::write(&out, ir_bench::throughput::to_json(&report) + "\n")
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("report") => run_report(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
+        Some("throughput") => run_throughput(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -43,6 +43,11 @@ fn layout_name(layout: PoolLayout) -> String {
             if global_history { "+global" } else { "" }
         ),
         PoolLayout::Partitioned { frames_each, .. } => format!("partitioned[{frames_each}ea]"),
+        PoolLayout::Sharded {
+            total_frames,
+            shards,
+            ..
+        } => format!("sharded[{total_frames}/{shards}]"),
     }
 }
 
@@ -98,6 +103,9 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
         .max(2)
         / 2;
     let per_user = (total_frames / users.len()).max(1);
+    // Stripe count for the sharded rows: 4 when the pool affords it,
+    // clamped so every shard keeps at least one frame at tiny scales.
+    let shards = total_frames.clamp(1, 4);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -115,6 +123,11 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
             PoolLayout::Partitioned {
                 frames_each: per_user,
                 policy,
+            },
+            PoolLayout::Sharded {
+                total_frames,
+                policy,
+                shards,
             },
         ] {
             let label = format!("{policy:>8} / {}", layout_name(layout));
@@ -171,7 +184,7 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
     let _ = writeln!(
         out,
         "all {} combinations recovered; invariants hold under injected failure",
-        PolicyKind::ALL.len() * 2
+        PolicyKind::ALL.len() * 3
     );
     Ok(out)
 }

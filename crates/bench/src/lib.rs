@@ -21,5 +21,6 @@ pub mod exp;
 pub mod output;
 pub mod report;
 pub mod setup;
+pub mod throughput;
 
 pub use setup::TestBed;

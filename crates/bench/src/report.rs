@@ -10,6 +10,7 @@ use crate::exp::ExpResult;
 use crate::setup::{pick_representatives, profile_queries, TestBed};
 use ir_core::eval::{evaluate, EvalOptions};
 use ir_core::{run_sequence, Algorithm, RefinementKind, SessionConfig};
+use ir_engine::{PoolLayout, Schedule, SessionServer, SessionSpec};
 use ir_storage::{BufferMetrics, PolicyKind};
 use ir_types::FilterParams;
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,25 @@ impl BatchingSummary {
     }
 }
 
+/// One sample of the threaded session server: the four representative
+/// refinement sessions run free-running over one shared pool.
+/// Informational (not compared — wall clock and queries/sec are
+/// machine-dependent, and a baseline written before the server summary
+/// existed reads back as all zeros).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServerSummary {
+    /// Concurrent sessions driven.
+    pub sessions: u64,
+    /// Queries evaluated across all sessions.
+    pub queries: u64,
+    /// Total disk reads over the run.
+    pub total_reads: u64,
+    /// Wall-clock time of the run (spawn to last join), µs.
+    pub wall_us: u64,
+    /// Evaluated queries per second of wall-clock time.
+    pub queries_per_sec: f64,
+}
+
 /// The whole report.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -148,6 +168,9 @@ pub struct BenchReport {
     /// Batched-fetch counters over the micro-kernels (informational;
     /// not compared).
     pub batching: BatchingSummary,
+    /// Threaded-server throughput sample (informational; not
+    /// compared).
+    pub server: ServerSummary,
     /// Global `ir-observe` counter values at the end of the run
     /// (informational; not compared).
     pub counters: Vec<(String, u64)>,
@@ -161,8 +184,8 @@ fn req<T: serde::Deserialize>(v: &serde::Value, name: &'static str) -> Result<T,
     )
 }
 
-// Hand-written (instead of derived) so `batching` defaults to zeros
-// when the baseline was recorded before batching existed.
+// Hand-written (instead of derived) so `batching` and `server`
+// default to zeros when the baseline was recorded before they existed.
 impl serde::Deserialize for BenchReport {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         Ok(BenchReport {
@@ -174,6 +197,10 @@ impl serde::Deserialize for BenchReport {
             micro: req(v, "micro")?,
             batching: v.field("batching").map_or_else(
                 || Ok(BatchingSummary::default()),
+                serde::Deserialize::from_value,
+            )?,
+            server: v.field("server").map_or_else(
+                || Ok(ServerSummary::default()),
                 serde::Deserialize::from_value,
             )?,
             counters: req(v, "counters")?,
@@ -306,6 +333,41 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
         },
     };
 
+    // Threaded-server sample: the four representative sessions
+    // free-running over one shared pool sized like the chaos matrix's
+    // (half the combined DF working set). Surfaces the server's
+    // queries/sec and wall clock in the report; informational only.
+    let server = {
+        let users = [reps.query1, reps.query2, reps.query3, reps.query4];
+        let specs: Vec<SessionSpec> = users
+            .iter()
+            .map(|&t| {
+                bed.sequence(t, RefinementKind::AddOnly)
+                    .map(|seq| SessionSpec::new(seq, Algorithm::Baf))
+            })
+            .collect::<Result<_, _>>()?;
+        let total_frames: usize = users
+            .iter()
+            .map(|&t| profiles[t].df_reads as usize)
+            .sum::<usize>()
+            .max(2)
+            / 2;
+        let layout = PoolLayout::Shared {
+            total_frames,
+            policy: PolicyKind::Lru,
+            global_history: false,
+        };
+        let report = SessionServer::new(&bed.index, layout).run(&specs, Schedule::FreeRunning)?;
+        bed.index.disk().reset_stats();
+        ServerSummary {
+            sessions: specs.len() as u64,
+            queries: report.ledger.len() as u64,
+            total_reads: report.total_disk_reads(),
+            wall_us: report.wall_us,
+            queries_per_sec: report.queries_per_sec,
+        }
+    };
+
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         scale,
@@ -314,6 +376,7 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
         latency,
         micro,
         batching,
+        server,
         counters: ir_observe::global().snapshot().counters,
     })
 }
@@ -451,6 +514,13 @@ mod tests {
                 hinted_inserts: 12,
                 hint_abs_error_milli: 250,
             },
+            server: ServerSummary {
+                sessions: 4,
+                queries: 24,
+                total_reads: 310,
+                wall_us: 42_000,
+                queries_per_sec: 571.4,
+            },
             counters: vec![("index.pages_decoded".into(), 7)],
         }
     }
@@ -522,6 +592,9 @@ mod tests {
         assert_eq!(back.latency.p99_us, 20_000);
         assert_eq!(back.micro[0].name, "eval_df");
         assert_eq!(back.batching, r.batching);
+        assert_eq!(back.server.sessions, 4);
+        assert_eq!(back.server.queries, 24);
+        assert_eq!(back.server.wall_us, 42_000);
         assert_eq!(back.counters, r.counters);
     }
 
@@ -541,6 +614,25 @@ mod tests {
         assert!(
             compare(&old, &r, 0.15).is_empty(),
             "batching is informational"
+        );
+    }
+
+    #[test]
+    fn pre_server_baselines_read_back_as_zeros() {
+        // Same back-compat contract for the threaded-server summary:
+        // a baseline without a "server" field loads with zeros and
+        // still passes the gate.
+        let r = report();
+        let mut v = serde::Serialize::to_value(&r);
+        match &mut v {
+            serde::Value::Obj(fields) => fields.retain(|(k, _)| k != "server"),
+            other => panic!("report serialized as non-object: {other:?}"),
+        }
+        let old = <BenchReport as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(old.server, ServerSummary::default());
+        assert!(
+            compare(&old, &r, 0.15).is_empty(),
+            "server summary is informational"
         );
     }
 

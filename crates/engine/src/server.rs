@@ -42,7 +42,7 @@ use ir_observe::SpanKind;
 use ir_storage::{
     BufferManager, BufferStats, DiskSim, FaultConfig, FaultStats, FaultStore, FetchOutcome,
     FetchPolicy, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
-    SharedBufferManager, SharedPartitionedBuffer,
+    ShardedBufferPool, SharedBufferManager, SharedPartitionedBuffer,
 };
 use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
 use parking_lot::{Condvar, Mutex};
@@ -75,6 +75,22 @@ pub enum PoolLayout {
         frames_each: usize,
         /// Replacement policy run inside every partition.
         policy: PolicyKind,
+    },
+    /// One lock-striped pool shared by every session
+    /// ([`ShardedBufferPool`]): frames are partitioned over `shards`
+    /// shards by page-id hash, each behind its own mutex, so
+    /// concurrent hits on different shards never contend. With
+    /// `shards = 1` this is behaviourally identical to
+    /// [`PoolLayout::Shared`] without global history; with more shards
+    /// it is the opt-in scaling configuration (each shard evicts its
+    /// local minimum — a documented approximation of global RAP).
+    Sharded {
+        /// Pool size in frames, summed over all shards.
+        total_frames: usize,
+        /// Replacement policy run inside every shard.
+        policy: PolicyKind,
+        /// Number of lock stripes (`P ≥ 1`).
+        shards: usize,
     },
 }
 
@@ -198,6 +214,19 @@ pub struct ServerReport {
     /// session. Hits, misses and borrows are attributed per fetch, so
     /// rows are exact under either schedule.
     pub ledger: CostLedger,
+    /// Wall-clock time of the whole run (spawn to last join), µs.
+    pub wall_us: u64,
+    /// Evaluated queries per second of wall-clock time — the
+    /// throughput axis of the concurrency benchmarks. 0 when nothing
+    /// ran.
+    pub queries_per_sec: f64,
+    /// Total time sessions spent waiting on shard locks, µs (0 for
+    /// non-sharded layouts, where the single mutex's wait is not
+    /// instrumented).
+    pub lock_wait_us: u64,
+    /// Read plans that spanned more than one shard (0 for non-sharded
+    /// layouts).
+    pub batch_splits: u64,
 }
 
 impl ServerReport {
@@ -260,6 +289,7 @@ enum SessionBuffer {
         user: usize,
     },
     Partition(PartitionHandle<ServerStore>),
+    Sharded(ShardedBufferPool<ServerStore>),
 }
 
 impl QueryBuffer for SessionBuffer {
@@ -268,6 +298,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.fetch(id),
             SessionBuffer::GlobalShared { pool, .. } => pool.fetch(id),
             SessionBuffer::Partition(h) => h.fetch(id),
+            SessionBuffer::Sharded(p) => QueryBuffer::fetch(p, id),
         }
     }
 
@@ -276,6 +307,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.fetch_traced(id),
             SessionBuffer::GlobalShared { pool, .. } => pool.fetch_traced(id),
             SessionBuffer::Partition(h) => h.fetch_traced(id),
+            SessionBuffer::Sharded(p) => QueryBuffer::fetch_traced(p, id),
         }
     }
 
@@ -286,6 +318,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.fetch_batch(plan),
             SessionBuffer::GlobalShared { pool, .. } => pool.fetch_batch(plan),
             SessionBuffer::Partition(h) => h.fetch_batch(plan),
+            SessionBuffer::Sharded(p) => QueryBuffer::fetch_batch(p, plan),
         }
     }
 
@@ -294,6 +327,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.resident_pages(term),
             SessionBuffer::GlobalShared { pool, .. } => pool.resident_pages(term),
             SessionBuffer::Partition(h) => h.resident_pages(term),
+            SessionBuffer::Sharded(p) => ShardedBufferPool::resident_pages(p, term),
         }
     }
 
@@ -322,6 +356,7 @@ impl QueryBuffer for SessionBuffer {
                 pool.begin_query(&merged);
             }
             SessionBuffer::Partition(h) => h.begin_query(weights),
+            SessionBuffer::Sharded(p) => ShardedBufferPool::begin_query(p, weights),
         }
     }
 
@@ -330,6 +365,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.stats(),
             SessionBuffer::GlobalShared { pool, .. } => pool.stats(),
             SessionBuffer::Partition(h) => h.stats(),
+            SessionBuffer::Sharded(p) => ShardedBufferPool::stats(p),
         }
     }
 
@@ -338,6 +374,7 @@ impl QueryBuffer for SessionBuffer {
             SessionBuffer::Shared(p) => p.borrows(),
             SessionBuffer::GlobalShared { pool, .. } => pool.borrows(),
             SessionBuffer::Partition(h) => h.borrows(),
+            SessionBuffer::Sharded(p) => ShardedBufferPool::borrows(p),
         }
     }
 }
@@ -350,6 +387,7 @@ enum ServerPool {
         registry: Option<Arc<WeightRegistry>>,
     },
     Partitioned(SharedPartitionedBuffer<ServerStore>),
+    Sharded(ShardedBufferPool<ServerStore>),
 }
 
 /// Extracts a printable message from a caught panic payload.
@@ -432,6 +470,10 @@ impl<'a> SessionServer<'a> {
                 torn_pages: 0,
                 fault_stats: FaultStats::default(),
                 ledger: CostLedger::new(),
+                wall_us: 0,
+                queries_per_sec: 0.0,
+                lock_wait_us: 0,
+                batch_splits: 0,
             });
         }
         let (pool, total_frames) = match self.layout {
@@ -463,6 +505,16 @@ impl<'a> SessionServer<'a> {
                     frames_each * n,
                 )
             }
+            PoolLayout::Sharded {
+                total_frames,
+                policy,
+                shards,
+            } => {
+                let pool =
+                    ShardedBufferPool::new(Arc::clone(&store), total_frames, policy, shards)?;
+                pool.set_fetch_policy(self.fetch_policy);
+                (ServerPool::Sharded(pool), total_frames)
+            }
         };
         let max_steps = specs
             .iter()
@@ -472,6 +524,7 @@ impl<'a> SessionServer<'a> {
         let turns = Turnstile::default();
         let index = self.index;
         type SessionRun = (SequenceOutcome, Vec<QueryCost>, Option<IrError>);
+        let run_started = std::time::Instant::now();
         let results: Vec<SessionRun> = crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (user, spec) in specs.iter().enumerate() {
@@ -488,6 +541,7 @@ impl<'a> SessionServer<'a> {
                         p.handle(user)
                             .expect("one partition per session by construction"),
                     ),
+                    ServerPool::Sharded(p) => SessionBuffer::Sharded(p.clone()),
                 };
                 let turns = &turns;
                 handles.push(scope.spawn(move |_| {
@@ -571,6 +625,7 @@ impl<'a> SessionServer<'a> {
                 .collect()
         })
         .expect("session scope cannot fail: all threads are joined");
+        let wall_us = run_started.elapsed().as_micros() as u64;
         let mut sessions = Vec::with_capacity(n);
         let mut ledger = CostLedger::new();
         for (outcome, costs, failure) in results {
@@ -587,6 +642,7 @@ impl<'a> SessionServer<'a> {
         }
         let n_terms = self.index.lexicon().len() as u32;
         let all_terms = (0..n_terms).map(TermId);
+        let (mut lock_wait_us, mut batch_splits) = (0u64, 0u64);
         let (
             pool_stats,
             sibling_hits,
@@ -627,6 +683,28 @@ impl<'a> SessionServer<'a> {
                     pb.torn_pages(),
                 )
             }),
+            ServerPool::Sharded(p) => {
+                let metrics = p.metrics();
+                lock_wait_us = metrics.lock_wait_us.sum();
+                batch_splits = metrics.batch_splits.get();
+                let b_t: u64 = all_terms
+                    .map(|t| u64::from(ShardedBufferPool::resident_pages(p, t)))
+                    .sum();
+                (
+                    ShardedBufferPool::stats(p),
+                    0,
+                    p.len(),
+                    b_t,
+                    p.retries(),
+                    p.gave_up(),
+                    p.torn_pages(),
+                )
+            }
+        };
+        let queries_per_sec = if wall_us == 0 {
+            0.0
+        } else {
+            ledger.len() as f64 / (wall_us as f64 / 1_000_000.0)
         };
         Ok(ServerReport {
             sessions,
@@ -640,6 +718,10 @@ impl<'a> SessionServer<'a> {
             torn_pages: torn,
             fault_stats: store.stats(),
             ledger,
+            wall_us,
+            queries_per_sec,
+            lock_wait_us,
+            batch_splits,
         })
     }
 }

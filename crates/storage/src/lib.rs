@@ -34,6 +34,7 @@ pub mod observe;
 pub mod page;
 pub mod partition;
 pub mod policy;
+pub mod sharded;
 pub mod shared;
 pub mod stats;
 
@@ -44,5 +45,8 @@ pub use observe::{BufferEvent, BufferObserver, EventCounts, EventLog};
 pub use page::Page;
 pub use partition::PartitionedBuffer;
 pub use policy::{PolicyKind, ReplacementPolicy};
-pub use shared::{PartitionHandle, QueryBuffer, SharedBufferManager, SharedPartitionedBuffer};
+pub use sharded::{ShardMetrics, ShardedBufferPool, LOCK_WAIT_US_BOUNDS};
+pub use shared::{
+    PartitionHandle, QueryBuffer, Shared, SharedBufferManager, SharedPartitionedBuffer,
+};
 pub use stats::{BufferMetrics, BufferStats, BATCH_PAGES_BOUNDS};

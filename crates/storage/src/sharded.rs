@@ -1,0 +1,687 @@
+//! Lock-striped sharded buffer pool for concurrent multi-session
+//! workloads.
+//!
+//! The single-mutex [`SharedBufferManager`](crate::SharedBufferManager)
+//! serializes *every* fetch — including pure buffer hits on Arc-shared
+//! pages — so N sessions on N cores collapse to one core's worth of
+//! buffer throughput. [`ShardedBufferPool`] partitions the frames
+//! across `P` shards by [`PageId`] hash (the LevelDB/RocksDB
+//! `ShardedCache` construction): each shard owns its own frame table,
+//! replacement-policy instance, [`BufferMetrics`] and
+//! [`parking_lot::Mutex`], so concurrent hits on different shards never
+//! contend and no global lock exists on the hot path.
+//!
+//! ## Semantics
+//!
+//! * **`P = 1` is the reference pool.** A one-shard pool takes the
+//!   same locks and runs the same [`BufferManager`] code as the
+//!   single-mutex pool; its event log, metrics and store traffic are
+//!   identical fetch for fetch (a property test pins this for all
+//!   seven policies, with and without fault injection).
+//! * **Striped replacement (deliberate deviation).** Each shard evicts
+//!   its own local minimum, so a query-aware policy such as RAP keeps
+//!   a *striped* value index rather than the paper's single global
+//!   one: the globally least-valuable page survives whenever its shard
+//!   has a colder page to give up. [`begin_query`] announcements fan
+//!   out to every shard, so within a shard the ordering is exactly the
+//!   paper's. DESIGN.md §10 discusses the approximation.
+//! * **Batches lock only the shards they touch.** A
+//!   [`fetch_batch`](ShardedBufferPool::fetch_batch) partitions the
+//!   plan by shard and acquires the touched shards' locks in ascending
+//!   shard order — a total order, so concurrent batches cannot
+//!   deadlock. Within each shard the sub-plan preserves plan order and
+//!   PR 4's semantics (duplicate = one load + one hit, an error aborts
+//!   that shard's tail keeping its prefix); *across* shards the
+//!   sub-plans execute in shard order, another documented deviation
+//!   from strict plan order.
+//!
+//! [`begin_query`]: ShardedBufferPool::begin_query
+
+use crate::buffer::{BufferManager, FetchOutcome, FetchPolicy};
+use crate::disk::PageStore;
+use crate::page::Page;
+use crate::policy::PolicyKind;
+use crate::shared::QueryBuffer;
+use crate::stats::BufferStats;
+use ir_observe::{Counter, Histogram, MetricsSnapshot, Registry};
+use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, MutexGuard};
+use std::time::Instant;
+
+/// Bucket bounds (µs) for the shard-lock wait-time histogram: short
+/// waits round to 0–1 µs, so the low buckets resolve contention onset
+/// and the tail catches convoys.
+pub const LOCK_WAIT_US_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 2048];
+
+/// Contention counters of a [`ShardedBufferPool`] — pool-level, next
+/// to (not mixed into) the per-shard [`BufferMetrics`], so a one-shard
+/// pool's buffer counters stay bit-identical to an unsharded
+/// [`BufferManager`]'s.
+///
+/// [`BufferMetrics`]: crate::BufferMetrics
+#[derive(Clone, Debug)]
+pub struct ShardMetrics {
+    registry: Registry,
+    /// Time spent blocked acquiring shard locks, one observation per
+    /// *contended* acquisition (µs) — the uncontended fast path
+    /// records nothing, so hot loops pay no histogram write. The sum
+    /// is the pool's total lock-wait.
+    pub lock_wait_us: Histogram,
+    /// Acquisitions that found the shard lock already held and had to
+    /// wait (the fast `try_lock` failed).
+    pub contended_locks: Counter,
+    /// Read plans whose pages hashed to more than one shard (each such
+    /// batch splits into per-shard sub-plans).
+    pub batch_splits: Counter,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        ShardMetrics::new()
+    }
+}
+
+impl ShardMetrics {
+    /// Fresh counters in a private registry.
+    pub fn new() -> Self {
+        ShardMetrics::in_registry(&Registry::new())
+    }
+
+    /// Handles registered in `registry` under the canonical
+    /// `sharded.*` names.
+    pub fn in_registry(registry: &Registry) -> Self {
+        ShardMetrics {
+            registry: registry.clone(),
+            lock_wait_us: registry.histogram("sharded.lock_wait_us", &LOCK_WAIT_US_BOUNDS),
+            contended_locks: registry.counter("sharded.contended_locks"),
+            batch_splits: registry.counter("sharded.batch_splits"),
+        }
+    }
+
+    /// The registry these handles live in.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+/// A buffer pool of `total_frames` frames striped across `P` shards by
+/// page-id hash, each shard an independent [`BufferManager`] behind its
+/// own mutex. Cloning yields another handle to the same pool, so N
+/// session threads each hold a clone.
+#[derive(Debug)]
+pub struct ShardedBufferPool<S: PageStore> {
+    shards: Arc<[Mutex<BufferManager<Arc<S>>>]>,
+    metrics: ShardMetrics,
+}
+
+impl<S: PageStore> Clone for ShardedBufferPool<S> {
+    fn clone(&self) -> Self {
+        ShardedBufferPool {
+            shards: Arc::clone(&self.shards),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// `splitmix64` finalizer: a fixed, platform-independent page→shard
+/// map, so shard contents are reproducible run to run (unlike
+/// `DefaultHasher`, whose keys are randomized per process).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl<S: PageStore> ShardedBufferPool<S> {
+    /// Creates a pool of `total_frames` frames striped over `shards`
+    /// shards, every shard running `policy`. Frame quotas differ by at
+    /// most one: shard `i` gets `total/P`, plus one of the `total % P`
+    /// leftovers for `i < total % P`.
+    ///
+    /// # Errors
+    /// [`IrError::EmptyBufferPool`] when `total_frames` is zero;
+    /// [`IrError::InvalidConfig`] when `shards` is zero or exceeds
+    /// `total_frames` (every shard needs at least one frame).
+    pub fn new(
+        store: Arc<S>,
+        total_frames: usize,
+        policy: PolicyKind,
+        shards: usize,
+    ) -> IrResult<Self> {
+        if total_frames == 0 {
+            return Err(IrError::EmptyBufferPool);
+        }
+        if shards == 0 {
+            return Err(IrError::InvalidConfig(
+                "sharded pool needs at least one shard".into(),
+            ));
+        }
+        if shards > total_frames {
+            return Err(IrError::InvalidConfig(format!(
+                "{shards} shards over {total_frames} frames: every shard needs at least one frame"
+            )));
+        }
+        let base = total_frames / shards;
+        let extra = total_frames % shards;
+        let pools = (0..shards)
+            .map(|i| {
+                let capacity = base + usize::from(i < extra);
+                BufferManager::new(Arc::clone(&store), capacity, policy).map(Mutex::new)
+            })
+            .collect::<IrResult<Vec<_>>>()?;
+        Ok(ShardedBufferPool {
+            shards: pools.into(),
+            metrics: ShardMetrics::new(),
+        })
+    }
+
+    /// The shard `id` hashes to.
+    #[inline]
+    pub fn shard_of(&self, id: PageId) -> usize {
+        let key = (u64::from(id.term.0) << 32) | u64::from(id.page.0);
+        (splitmix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Locks shard `s`. The uncontended fast path is a bare
+    /// `try_lock`; only a failed attempt pays for the clock reads and
+    /// the contention counters.
+    fn lock(&self, s: usize) -> MutexGuard<'_, BufferManager<Arc<S>>> {
+        if let Some(guard) = self.shards[s].try_lock() {
+            return guard;
+        }
+        self.metrics.contended_locks.inc();
+        let started = Instant::now();
+        let guard = self.shards[s].lock();
+        self.metrics
+            .lock_wait_us
+            .record(started.elapsed().as_micros() as u64);
+        guard
+    }
+
+    /// Fetches a page through its shard, counting a hit or a disk read
+    /// on that shard's counters.
+    pub fn fetch(&self, id: PageId) -> IrResult<Page> {
+        self.fetch_traced(id).map(|(page, _)| page)
+    }
+
+    /// [`fetch`](Self::fetch), also reporting how the request was
+    /// served. Only the owning shard is locked.
+    pub fn fetch_traced(&self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        self.lock(self.shard_of(id)).fetch_traced(id)
+    }
+
+    /// Executes a [`ReadPlan`], locking only the shards the plan's
+    /// pages hash to — in ascending shard order, so concurrent batches
+    /// cannot deadlock. Each shard serves its sub-plan (the plan's
+    /// entries that hash to it, in plan order) through
+    /// [`BufferManager::fetch_batch`], keeping the duplicate/one-load
+    /// and vectored-read semantics per shard; outcomes are reassembled
+    /// into plan order. An error aborts the failing shard's tail and
+    /// every not-yet-executed shard; completed shards keep their
+    /// effects.
+    pub fn fetch_batch(&self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        if self.shards.len() == 1 {
+            return self.lock(0).fetch_batch(plan);
+        }
+        let mut groups: Vec<Vec<(usize, PlanEntry)>> = vec![Vec::new(); self.shards.len()];
+        for (i, entry) in plan.iter().enumerate() {
+            groups[self.shard_of(entry.page)].push((i, *entry));
+        }
+        let touched: Vec<usize> = (0..groups.len())
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+        if touched.len() > 1 {
+            self.metrics.batch_splits.inc();
+        }
+        // Ascending shard order by construction of `touched`: the lock
+        // acquisition order is total across all threads.
+        let mut guards: Vec<(usize, MutexGuard<'_, BufferManager<Arc<S>>>)> =
+            touched.into_iter().map(|s| (s, self.lock(s))).collect();
+        let mut out: Vec<Option<(Page, FetchOutcome)>> = vec![None; plan.len()];
+        for (s, guard) in guards.iter_mut() {
+            let sub: ReadPlan = groups[*s].iter().map(|(_, e)| *e).collect();
+            let served = guard.fetch_batch(&sub)?;
+            for ((plan_idx, _), result) in groups[*s].iter().zip(served) {
+                out[*plan_idx] = Some(result);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every plan entry belongs to exactly one locked shard"))
+            .collect())
+    }
+
+    /// `b_t` across the whole pool: `term`'s pages are spread over the
+    /// shards, so every shard is consulted (locked one at a time).
+    pub fn resident_pages(&self, term: TermId) -> u32 {
+        (0..self.shards.len())
+            .map(|s| self.lock(s).resident_pages(term))
+            .sum()
+    }
+
+    /// Announces the query's term weights to **every** shard, so each
+    /// shard's policy re-values its own residents — the striped
+    /// equivalent of the paper's global RAP re-valuation.
+    pub fn begin_query(&self, weights: &HashMap<TermId, f64>) {
+        for s in 0..self.shards.len() {
+            self.lock(s).begin_query(weights);
+        }
+    }
+
+    /// Runs `f` with shard `s` locked — for operations the pool
+    /// surface does not cover (observers, pinning, per-shard metrics).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn with_shard<R>(&self, s: usize, f: impl FnOnce(&mut BufferManager<Arc<S>>) -> R) -> R {
+        f(&mut self.lock(s))
+    }
+
+    /// Number of shards (`P`).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pool capacity in frames, summed over shards.
+    pub fn capacity(&self) -> usize {
+        (0..self.shards.len())
+            .map(|s| self.lock(s).capacity())
+            .sum()
+    }
+
+    /// Frames in use, summed over shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len()).map(|s| self.lock(s).len()).sum()
+    }
+
+    /// `true` when no shard holds a page.
+    pub fn is_empty(&self) -> bool {
+        (0..self.shards.len()).all(|s| self.lock(s).is_empty())
+    }
+
+    /// One shard's counter snapshot.
+    pub fn shard_stats(&self, s: usize) -> BufferStats {
+        self.lock(s).stats()
+    }
+
+    /// Pool counters summed over every shard.
+    pub fn stats(&self) -> BufferStats {
+        let mut total = BufferStats::default();
+        for s in 0..self.shards.len() {
+            let stats = self.lock(s).stats();
+            total.requests += stats.requests;
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+        }
+        total
+    }
+
+    /// Sum of `f` over every shard's [`BufferManager`] (lock per
+    /// shard) — the rollup primitive behind the totals below.
+    fn sum_shards(&self, f: impl Fn(&BufferManager<Arc<S>>) -> u64) -> u64 {
+        (0..self.shards.len()).map(|s| f(&self.lock(s))).sum()
+    }
+
+    /// Store reads re-attempted after transient failures, pool-wide.
+    pub fn retries(&self) -> u64 {
+        self.sum_shards(|bm| bm.metrics().retries.get())
+    }
+
+    /// Fetches abandoned after exhausting the retry budget, pool-wide.
+    pub fn gave_up(&self) -> u64 {
+        self.sum_shards(|bm| bm.metrics().gave_up.get())
+    }
+
+    /// Torn deliveries rejected by checksum verification, pool-wide.
+    pub fn torn_pages(&self) -> u64 {
+        self.sum_shards(|bm| bm.metrics().torn_pages.get())
+    }
+
+    /// Pages admitted without a store read, pool-wide.
+    pub fn borrows(&self) -> u64 {
+        self.sum_shards(BufferManager::borrows)
+    }
+
+    /// The pool-level contention counters (lock waits, batch splits).
+    pub fn metrics(&self) -> &ShardMetrics {
+        &self.metrics
+    }
+
+    /// One snapshot covering the whole pool: every shard's
+    /// `buffer.*` counters and histograms summed by name, with the
+    /// pool-level `sharded.*` contention metrics appended — the
+    /// rollup the observability registry consumes.
+    pub fn merged_dump(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for s in 0..self.shards.len() {
+            let dump = self.lock(s).metrics().dump();
+            for (name, value) in dump.counters {
+                match merged.counters.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += value,
+                    None => merged.counters.push((name, value)),
+                }
+            }
+            for hist in dump.histograms {
+                match merged.histograms.iter_mut().find(|h| h.name == hist.name) {
+                    Some(total) => {
+                        debug_assert_eq!(total.bounds, hist.bounds, "shards share bucket bounds");
+                        total.count += hist.count;
+                        total.sum += hist.sum;
+                        for (slot, n) in total.counts.iter_mut().zip(&hist.counts) {
+                            *slot += n;
+                        }
+                    }
+                    None => merged.histograms.push(hist),
+                }
+            }
+        }
+        let pool = self.metrics.registry.snapshot();
+        merged.counters.extend(pool.counters);
+        merged.gauges.extend(pool.gauges);
+        merged.histograms.extend(pool.histograms);
+        merged
+    }
+
+    /// Sets the store-read retry policy on every shard.
+    pub fn set_fetch_policy(&self, policy: FetchPolicy) {
+        for s in 0..self.shards.len() {
+            self.lock(s).set_fetch_policy(policy);
+        }
+    }
+
+    /// Empties every shard (statistics survive).
+    pub fn flush(&self) {
+        for s in 0..self.shards.len() {
+            self.lock(s).flush();
+        }
+    }
+
+    /// Zeroes every shard's buffer counters and the pool's contention
+    /// counters (histograms keep their observations).
+    pub fn reset_stats(&self) {
+        for s in 0..self.shards.len() {
+            self.lock(s).reset_stats();
+        }
+        self.metrics.registry.reset_counters();
+    }
+}
+
+impl<S: PageStore> QueryBuffer for ShardedBufferPool<S> {
+    fn fetch(&mut self, id: PageId) -> IrResult<Page> {
+        ShardedBufferPool::fetch(self, id)
+    }
+
+    fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
+        ShardedBufferPool::fetch_traced(self, id)
+    }
+
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        ShardedBufferPool::fetch_batch(self, plan)
+    }
+
+    fn resident_pages(&self, term: TermId) -> u32 {
+        ShardedBufferPool::resident_pages(self, term)
+    }
+
+    fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
+        ShardedBufferPool::begin_query(self, weights);
+    }
+
+    fn stats(&self) -> BufferStats {
+        ShardedBufferPool::stats(self)
+    }
+
+    fn borrows(&self) -> u64 {
+        ShardedBufferPool::borrows(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSim;
+    use ir_types::Posting;
+
+    fn store(n_terms: u32, pages: u32) -> Arc<DiskSim> {
+        let lists = (0..n_terms)
+            .map(|t| {
+                (0..pages)
+                    .map(|p| {
+                        let postings: Vec<Posting> = vec![Posting::new(p, pages - p)];
+                        Page::new(PageId::new(TermId(t), p), postings.into(), 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        Arc::new(DiskSim::new(lists))
+    }
+
+    fn pid(t: u32, p: u32) -> PageId {
+        PageId::new(TermId(t), p)
+    }
+
+    #[test]
+    fn construction_validates_shard_and_frame_counts() {
+        let s = store(1, 4);
+        assert!(matches!(
+            ShardedBufferPool::new(Arc::clone(&s), 0, PolicyKind::Lru, 1),
+            Err(IrError::EmptyBufferPool)
+        ));
+        assert!(matches!(
+            ShardedBufferPool::new(Arc::clone(&s), 4, PolicyKind::Lru, 0),
+            Err(IrError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardedBufferPool::new(Arc::clone(&s), 3, PolicyKind::Lru, 4),
+            Err(IrError::InvalidConfig(_))
+        ));
+        let pool = ShardedBufferPool::new(s, 7, PolicyKind::Lru, 4).unwrap();
+        assert_eq!(pool.n_shards(), 4);
+        assert_eq!(pool.capacity(), 7, "quotas must sum to the total");
+    }
+
+    #[test]
+    fn quota_split_differs_by_at_most_one() {
+        let pool = ShardedBufferPool::new(store(1, 4), 10, PolicyKind::Lru, 4).unwrap();
+        let caps: Vec<usize> = (0..4)
+            .map(|s| pool.with_shard(s, |bm| bm.capacity()))
+            .collect();
+        assert_eq!(caps.iter().sum::<usize>(), 10);
+        assert_eq!(*caps.iter().max().unwrap() - *caps.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn page_to_shard_map_is_fixed_and_total() {
+        let pool = ShardedBufferPool::new(store(4, 16), 8, PolicyKind::Lru, 4).unwrap();
+        let mut seen = vec![0u32; 4];
+        for t in 0..4 {
+            for p in 0..16 {
+                let s = pool.shard_of(pid(t, p));
+                assert_eq!(s, pool.shard_of(pid(t, p)), "map must be deterministic");
+                seen[s] += 1;
+            }
+        }
+        assert!(
+            seen.iter().all(|&n| n > 0),
+            "64 pages must spread over all 4 shards: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn fetches_route_to_the_owning_shard_and_counters_add_up() {
+        // 64 frames = 16 per shard: even if every page hashed to one
+        // shard nothing would evict, so the counters are exact.
+        let s = store(2, 8);
+        let pool = ShardedBufferPool::new(Arc::clone(&s), 64, PolicyKind::Lru, 4).unwrap();
+        for t in 0..2 {
+            for p in 0..8 {
+                pool.fetch(pid(t, p)).unwrap();
+                pool.fetch(pid(t, p)).unwrap(); // second fetch hits
+            }
+        }
+        let total = pool.stats();
+        assert_eq!(total.requests, 32);
+        assert_eq!(total.hits, 16);
+        assert_eq!(total.misses, 16);
+        assert_eq!(s.stats().reads, 16);
+        // Every page is resident in exactly its own shard.
+        for t in 0..2 {
+            for p in 0..8 {
+                let owner = pool.shard_of(pid(t, p));
+                for shard in 0..4 {
+                    let resident = pool.with_shard(shard, |bm| bm.is_resident(pid(t, p)));
+                    assert_eq!(resident, shard == owner);
+                }
+            }
+        }
+        assert_eq!(pool.len(), 16);
+        assert_eq!(pool.resident_pages(TermId(0)), 8);
+    }
+
+    #[test]
+    fn single_shard_batch_is_one_critical_section() {
+        let pool = ShardedBufferPool::new(store(1, 6), 8, PolicyKind::Lru, 1).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(0), 6, None);
+        let out = pool.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|(_, o)| *o == FetchOutcome::Miss));
+        assert_eq!(pool.metrics().batch_splits.get(), 0);
+        assert_eq!(pool.with_shard(0, |bm| bm.metrics().batches.get()), 1);
+    }
+
+    #[test]
+    fn cross_shard_batch_reassembles_plan_order() {
+        // Headroom per shard: no eviction regardless of hash skew.
+        let pool = ShardedBufferPool::new(store(2, 8), 32, PolicyKind::Lru, 4).unwrap();
+        let mut plan = ReadPlan::new();
+        for p in 0..8 {
+            plan.push(PlanEntry::new(pid(0, p)));
+        }
+        plan.push(PlanEntry::new(pid(0, 3))); // duplicate: hit in its shard
+        let out = pool.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 9);
+        for (i, (page, outcome)) in out.iter().enumerate().take(8) {
+            assert_eq!(page.id(), pid(0, i as u32), "plan order preserved");
+            assert_eq!(*outcome, FetchOutcome::Miss);
+        }
+        assert_eq!(out[8].1, FetchOutcome::Hit, "duplicate costs one load");
+        assert_eq!(pool.metrics().batch_splits.get(), 1);
+        let s = pool.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (9, 1, 8));
+    }
+
+    #[test]
+    fn striped_rap_announcement_reaches_every_shard() {
+        let pool = ShardedBufferPool::new(store(2, 4), 8, PolicyKind::Rap, 2).unwrap();
+        let w: HashMap<TermId, f64> = [(TermId(0), 1.0)].into_iter().collect();
+        pool.begin_query(&w);
+        for p in 0..4 {
+            pool.fetch(pid(0, p)).unwrap(); // valued by the announcement
+            pool.fetch(pid(1, p)).unwrap(); // term 1 absent: value 0
+        }
+        // Force evictions in both shards: term-1 (zero-valued) pages
+        // must go first within each shard.
+        for shard in 0..2 {
+            pool.with_shard(shard, |bm| {
+                let t0 = bm.resident_pages(TermId(0));
+                let t1 = bm.resident_pages(TermId(1));
+                assert_eq!(u64::from(t0 + t1), bm.len() as u64);
+            });
+        }
+        let before_t0 = pool.resident_pages(TermId(0));
+        // 8 frames hold all 8 pages; fetch 4 more term-0 pages of a
+        // bigger store to create pressure.
+        let s2 = store(2, 8);
+        let pool2 = ShardedBufferPool::new(s2, 6, PolicyKind::Rap, 2).unwrap();
+        pool2.begin_query(&w);
+        for p in 0..4 {
+            pool2.fetch(pid(0, p)).unwrap();
+        }
+        for p in 0..4 {
+            pool2.fetch(pid(1, p)).unwrap();
+        }
+        for p in 4..8 {
+            pool2.fetch(pid(0, p)).unwrap();
+        }
+        // Zero-valued term-1 pages are the preferred victims in every
+        // shard, so term 0 keeps more residents than term 1.
+        assert!(pool2.resident_pages(TermId(0)) > pool2.resident_pages(TermId(1)));
+        let _ = before_t0;
+    }
+
+    #[test]
+    fn concurrent_hits_on_distinct_shards_do_not_contend_logically() {
+        // 128 frames = 32 per shard: hash skew can never force an
+        // eviction, so every page loads exactly once.
+        let pool = ShardedBufferPool::new(store(4, 8), 128, PolicyKind::Lru, 4).unwrap();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = pool.clone();
+                scope.spawn(move |_| {
+                    for _ in 0..3 {
+                        for p in 0..8 {
+                            handle.fetch(pid(t, p)).unwrap();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let s = pool.stats();
+        assert_eq!(s.requests, 96);
+        assert_eq!(s.hits + s.misses, 96);
+        assert_eq!(s.misses, 32, "every page loads exactly once");
+        // Per-shard conservation: hits + loads == requests on each
+        // shard's own counters.
+        for shard in 0..4 {
+            let ss = pool.shard_stats(shard);
+            assert_eq!(ss.hits + ss.misses, ss.requests, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn batch_error_keeps_completed_shards() {
+        use crate::fault::{FaultConfig, FaultStore};
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 1.0,
+            max_consecutive_faults: 100,
+            ..FaultConfig::DISABLED
+        };
+        let faulty = Arc::new(FaultStore::new(store(1, 8), cfg));
+        let pool = ShardedBufferPool::new(faulty, 8, PolicyKind::Lru, 4).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(0), 8, None);
+        // Every read faults and there are no retries: the first
+        // touched shard's first entry fails, later shards never run.
+        let err = pool.fetch_batch(&plan).unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(pool.len(), 0, "no page may land from a failed batch");
+    }
+
+    #[test]
+    fn merged_dump_sums_shards_and_appends_contention() {
+        let pool = ShardedBufferPool::new(store(2, 8), 64, PolicyKind::Lru, 4).unwrap();
+        for t in 0..2 {
+            for p in 0..8 {
+                pool.fetch(pid(t, p)).unwrap();
+            }
+        }
+        pool.fetch_batch(&ReadPlan::for_term_pages(TermId(0), 8, None))
+            .unwrap();
+        let dump = pool.merged_dump();
+        assert_eq!(dump.counter("buffer.requests"), Some(24));
+        assert_eq!(dump.counter("buffer.loads"), Some(16));
+        assert_eq!(dump.counter("buffer.hits"), Some(8));
+        assert_eq!(dump.counter("sharded.batch_splits"), Some(1));
+        assert!(
+            dump.histograms
+                .iter()
+                .any(|h| h.name == "sharded.lock_wait_us"),
+            "contention histogram must be part of the rollup"
+        );
+    }
+}

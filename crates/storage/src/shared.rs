@@ -7,13 +7,15 @@
 //! * [`QueryBuffer`] — the capability the evaluation algorithms
 //!   actually require from a buffer (fetch, `b_t`, query announcement,
 //!   statistics), so they run unchanged against a private pool, a
-//!   mutex-shared pool, or one partition of a partitioned pool;
-//! * [`SharedBufferManager`] / [`SharedPartitionedBuffer`] — cloneable
-//!   handles wrapping a pool in a [`parking_lot::Mutex`] so N sessions
-//!   on N threads can drive it. Locking is per-call: a page fetch is a
-//!   critical section, a whole query is not, so sessions interleave at
-//!   page granularity exactly like the time-sliced multi-user runs the
-//!   paper envisions.
+//!   mutex-shared pool, one partition of a partitioned pool, or a
+//!   lock-striped [`ShardedBufferPool`](crate::ShardedBufferPool);
+//! * [`Shared<T>`] — the one generic `Arc<Mutex<T>>` locking adapter
+//!   behind every mutex-shared pool flavour.
+//!   [`SharedBufferManager`] and [`SharedPartitionedBuffer`] are thin
+//!   aliases of it. Locking is per-call: a page fetch (or one whole
+//!   [`ReadPlan`]) is a critical section, a whole query is not, so
+//!   sessions interleave at page granularity exactly like the
+//!   time-sliced multi-user runs the paper envisions.
 
 use crate::buffer::{BufferManager, FetchOutcome};
 use crate::disk::PageStore;
@@ -27,9 +29,10 @@ use std::sync::Arc;
 
 /// What query evaluation needs from a buffer pool.
 ///
-/// Implemented by [`BufferManager`] (private pool),
-/// [`SharedBufferManager`] (one pool, many sessions) and
-/// [`PartitionHandle`] (one partition of a [`PartitionedBuffer`]);
+/// Implemented by [`BufferManager`] (private pool), [`Shared<T>`] for
+/// any `T: QueryBuffer` (one pool, many sessions), [`PartitionHandle`]
+/// (one partition of a [`PartitionedBuffer`]) and
+/// [`ShardedBufferPool`](crate::ShardedBufferPool) (lock-striped pool);
 /// the evaluation algorithms in `ir-core` are generic over it.
 pub trait QueryBuffer {
     /// Fetches a page, counting a hit or a disk read.
@@ -103,63 +106,47 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
     }
 }
 
-/// A [`BufferManager`] behind an `Arc<Mutex<_>>`: clone one handle per
-/// session and fetch from any thread.
+/// The generic locking adapter: any value behind an `Arc<Mutex<_>>`,
+/// cloneable into one handle per session, usable from any thread.
+///
+/// Everything mutex-shared in this crate is an instantiation —
+/// [`SharedBufferManager`] and [`SharedPartitionedBuffer`] are plain
+/// aliases, so the wrapper boilerplate (handle cloning, `with`-style
+/// locked access, the whole-plan-per-lock [`QueryBuffer`] forwarding)
+/// exists once rather than once per pool flavour.
 #[derive(Debug)]
-pub struct SharedBufferManager<S: PageStore> {
-    inner: Arc<Mutex<BufferManager<S>>>,
+pub struct Shared<T> {
+    inner: Arc<Mutex<T>>,
 }
 
-impl<S: PageStore> Clone for SharedBufferManager<S> {
+impl<T> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        SharedBufferManager {
+        Shared {
             inner: Arc::clone(&self.inner),
         }
     }
 }
 
-impl<S: PageStore> SharedBufferManager<S> {
-    /// Wraps an existing pool for sharing.
-    pub fn new(pool: BufferManager<S>) -> Self {
-        SharedBufferManager {
-            inner: Arc::new(Mutex::new(pool)),
+impl<T> Shared<T> {
+    /// Wraps an existing value for sharing.
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(Mutex::new(value)),
         }
     }
 
-    /// Runs `f` with the pool locked — for operations the
+    /// Runs `f` with the value locked — for operations the
     /// [`QueryBuffer`] surface does not cover (pinning, flushing,
     /// observers, store access).
-    pub fn with<R>(&self, f: impl FnOnce(&mut BufferManager<S>) -> R) -> R {
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         f(&mut self.inner.lock())
-    }
-
-    /// Number of frames in use.
-    pub fn len(&self) -> usize {
-        self.inner.lock().len()
-    }
-
-    /// `true` when no page is resident.
-    pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
-    }
-
-    /// Pool capacity in pages.
-    pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity()
-    }
-
-    /// Empties the pool (statistics survive).
-    pub fn flush(&self) {
-        self.inner.lock().flush();
-    }
-
-    /// Zeroes the counters.
-    pub fn reset_stats(&self) {
-        self.inner.lock().reset_stats();
     }
 }
 
-impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
+/// Any shared queryable pool is itself a [`QueryBuffer`]: each call —
+/// including a whole [`ReadPlan`] batch — is one lock acquisition on
+/// the wrapped pool.
+impl<T: QueryBuffer> QueryBuffer for Shared<T> {
     fn fetch(&mut self, id: PageId) -> IrResult<Page> {
         self.inner.lock().fetch(id)
     }
@@ -191,29 +178,42 @@ impl<S: PageStore> QueryBuffer for SharedBufferManager<S> {
     }
 }
 
+/// A [`BufferManager`] behind an `Arc<Mutex<_>>`: clone one handle per
+/// session and fetch from any thread.
+pub type SharedBufferManager<S> = Shared<BufferManager<S>>;
+
+impl<S: PageStore> Shared<BufferManager<S>> {
+    /// Number of frames in use.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when no page is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Pool capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity()
+    }
+
+    /// Empties the pool (statistics survive).
+    pub fn flush(&self) {
+        self.inner.lock().flush();
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().reset_stats();
+    }
+}
+
 /// A [`PartitionedBuffer`] behind an `Arc<Mutex<_>>`; sessions address
 /// their partition through a [`PartitionHandle`].
-#[derive(Debug)]
-pub struct SharedPartitionedBuffer<S: PageStore> {
-    inner: Arc<Mutex<PartitionedBuffer<S>>>,
-}
+pub type SharedPartitionedBuffer<S> = Shared<PartitionedBuffer<S>>;
 
-impl<S: PageStore> Clone for SharedPartitionedBuffer<S> {
-    fn clone(&self) -> Self {
-        SharedPartitionedBuffer {
-            inner: Arc::clone(&self.inner),
-        }
-    }
-}
-
-impl<S: PageStore> SharedPartitionedBuffer<S> {
-    /// Wraps an existing partitioned pool for sharing.
-    pub fn new(pool: PartitionedBuffer<S>) -> Self {
-        SharedPartitionedBuffer {
-            inner: Arc::new(Mutex::new(pool)),
-        }
-    }
-
+impl<S: PageStore> Shared<PartitionedBuffer<S>> {
     /// A [`QueryBuffer`] view of partition `pid`; sibling borrowing
     /// stays active across partitions. The id is validated here, so a
     /// handle that exists always addresses a real partition — the old
@@ -230,14 +230,9 @@ impl<S: PageStore> SharedPartitionedBuffer<S> {
             )));
         }
         Ok(PartitionHandle {
-            pool: Arc::clone(&self.inner),
+            pool: self.clone(),
             pid,
         })
-    }
-
-    /// Runs `f` with the whole partitioned pool locked.
-    pub fn with<R>(&self, f: impl FnOnce(&mut PartitionedBuffer<S>) -> R) -> R {
-        f(&mut self.inner.lock())
     }
 
     /// Disk reads avoided by cross-partition borrowing so far.
@@ -255,14 +250,14 @@ impl<S: PageStore> SharedPartitionedBuffer<S> {
 /// [`QueryBuffer`] is expected.
 #[derive(Debug)]
 pub struct PartitionHandle<S: PageStore> {
-    pool: Arc<Mutex<PartitionedBuffer<S>>>,
+    pool: Shared<PartitionedBuffer<S>>,
     pid: PartitionId,
 }
 
 impl<S: PageStore> Clone for PartitionHandle<S> {
     fn clone(&self) -> Self {
         PartitionHandle {
-            pool: Arc::clone(&self.pool),
+            pool: self.pool.clone(),
             pid: self.pid,
         }
     }
@@ -270,23 +265,23 @@ impl<S: PageStore> Clone for PartitionHandle<S> {
 
 impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
     fn fetch(&mut self, id: PageId) -> IrResult<Page> {
-        self.pool.lock().fetch(self.pid, id)
+        self.pool.with(|p| p.fetch(self.pid, id))
     }
 
     fn fetch_traced(&mut self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
-        self.pool.lock().fetch_traced(self.pid, id)
+        self.pool.with(|p| p.fetch_traced(self.pid, id))
     }
 
     fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
-        self.pool.lock().fetch_batch(self.pid, plan)
+        self.pool.with(|p| p.fetch_batch(self.pid, plan))
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
-        self.pool.lock().resident_pages(self.pid, term)
+        self.pool.with(|p| p.resident_pages(self.pid, term))
     }
 
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
-        self.pool.lock().begin_query(self.pid, weights);
+        self.pool.with(|p| p.begin_query(self.pid, weights));
     }
 
     fn stats(&self) -> BufferStats {
@@ -294,13 +289,12 @@ impl<S: PageStore> QueryBuffer for PartitionHandle<S> {
         // (`SharedPartitionedBuffer::handle`), so the partition always
         // exists — no silent zeroed-stats fallback.
         self.pool
-            .lock()
-            .stats(self.pid)
+            .with(|p| p.stats(self.pid))
             .expect("PartitionHandle pid validated at construction")
     }
 
     fn borrows(&self) -> u64 {
-        self.pool.lock().borrows(self.pid)
+        self.pool.with(|p| p.borrows(self.pid))
     }
 }
 
@@ -409,5 +403,20 @@ mod tests {
         assert_eq!(b, FetchOutcome::Borrowed, "sibling copy is a borrow");
         let (_, c) = h1.fetch_traced(pid(0, 0)).unwrap();
         assert_eq!(c, FetchOutcome::Hit, "borrowed copy now serves local hits");
+    }
+
+    #[test]
+    fn generic_shared_adapter_wraps_any_query_buffer() {
+        // The adapter is one type: instantiating it over a plain
+        // BufferManager must behave exactly like the old bespoke
+        // SharedBufferManager wrapper, including whole-plan batching.
+        let bm = BufferManager::new(store(1, 4), 4, PolicyKind::Lru).unwrap();
+        let mut shared: Shared<BufferManager<DiskSim>> = Shared::new(bm);
+        let plan = ReadPlan::for_term_pages(TermId(0), 4, None);
+        let out = shared.fetch_batch(&plan).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(shared.with(|bm| bm.metrics().batches.get()), 1);
+        assert_eq!(shared.capacity(), 4);
+        assert_eq!(shared.borrows(), 0);
     }
 }

@@ -1,0 +1,311 @@
+//! The sharded pool's two load-bearing contracts, tested end to end:
+//!
+//! * **P = 1 identity** — a one-shard [`ShardedBufferPool`] is
+//!   indistinguishable from a bare [`BufferManager`] over the same
+//!   request stream: same event log, same metrics, same stats, same
+//!   resident set, same `b_t` counters — under every policy, with and
+//!   without seeded transient faults. This is what lets the engine
+//!   swap the pool in without disturbing any golden CSV.
+//! * **Shard accounting under real concurrency** — hammered by
+//!   threads, every shard's `hits + loads == requests`, the per-term
+//!   `b_t` counters sum to the pool's occupancy (no lost or duplicated
+//!   frames), and every resident page lives in exactly the shard the
+//!   hash routes it to.
+
+use ir_storage::{
+    BufferEvent, BufferManager, BufferObserver, DiskSim, FaultConfig, FaultStore, FetchPolicy,
+    Page, PageStore, PolicyKind, ShardedBufferPool,
+};
+use ir_types::{PageId, PlanEntry, Posting, ReadPlan, TermId};
+use proptest::{collection, proptest, ProptestConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// An observer whose log outlives the pool, so a test can tally events
+/// while the manager still owns the observer box.
+#[derive(Clone, Debug, Default)]
+struct SharedLog(Arc<Mutex<Vec<BufferEvent>>>);
+
+impl BufferObserver for SharedLog {
+    fn event(&mut self, event: BufferEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+const N_TERMS: u32 = 4;
+const PAGES_PER_TERM: u32 = 8;
+
+fn store() -> DiskSim {
+    let lists = (0..N_TERMS)
+        .map(|t| {
+            (0..PAGES_PER_TERM)
+                .map(|p| {
+                    let postings: Vec<Posting> = vec![Posting::new(p, PAGES_PER_TERM - p)];
+                    Page::new(PageId::new(TermId(t), p), postings.into(), f64::from(t + 1))
+                })
+                .collect()
+        })
+        .collect();
+    DiskSim::new(lists)
+}
+
+/// One step of the equivalence workload: `action` selects the call
+/// shape, `(t, p)` the page.
+type Op = (u32, u32, u8);
+
+/// Drives the one-shard pool and the reference manager with the same
+/// interleaving of plain fetches, traced fetches, multi-page plans and
+/// RAP announcements, then asserts they are indistinguishable.
+fn assert_one_shard_matches_manager<S: PageStore>(
+    pool: ShardedBufferPool<S>,
+    mut reference: BufferManager<Arc<S>>,
+    ops: &[Op],
+    kind: PolicyKind,
+) {
+    let pool_log = SharedLog::default();
+    pool.with_shard(0, |bm| bm.set_observer(Box::new(pool_log.clone())));
+    let ref_log = SharedLog::default();
+    reference.set_observer(Box::new(ref_log.clone()));
+
+    for (t, p, action) in ops {
+        let id = PageId::new(TermId(*t), *p);
+        match action % 4 {
+            0 => {
+                // RAP announcement: same weights to both sides.
+                let weights: HashMap<TermId, f64> =
+                    [(TermId(*t), f64::from(*p + 1))].into_iter().collect();
+                pool.begin_query(&weights);
+                reference.begin_query(&weights);
+            }
+            1 => {
+                let (pa, ha) = pool
+                    .fetch_traced(id)
+                    .unwrap_or_else(|e| panic!("{kind}: pool fetch failed: {e}"));
+                let (pb, hb) = reference.fetch_traced(id).unwrap();
+                assert_eq!(ha, hb, "{kind}: outcome differs for {id:?}");
+                assert_eq!(pa.postings(), pb.postings(), "{kind}: bytes differ");
+            }
+            2 => {
+                // A three-entry plan spanning two terms, one hinted.
+                let plan: ReadPlan = [
+                    PlanEntry::new(id),
+                    PlanEntry::hinted(PageId::new(TermId(*t), (*p + 1) % PAGES_PER_TERM), 0.5),
+                    PlanEntry::new(PageId::new(TermId((*t + 1) % N_TERMS), *p)),
+                ]
+                .into_iter()
+                .collect();
+                let a = pool
+                    .fetch_batch(&plan)
+                    .unwrap_or_else(|e| panic!("{kind}: pool batch failed: {e}"));
+                let b = reference.fetch_batch(&plan).unwrap();
+                assert_eq!(a.len(), b.len(), "{kind}: batch result lengths differ");
+                for ((pa, ha), (pb, hb)) in a.iter().zip(&b) {
+                    assert_eq!(ha, hb, "{kind}: batch outcome differs");
+                    assert_eq!(pa.postings(), pb.postings(), "{kind}: batch bytes differ");
+                }
+            }
+            _ => {
+                let pa = pool.fetch(id).unwrap();
+                let pb = reference.fetch(id).unwrap();
+                assert_eq!(pa.postings(), pb.postings(), "{kind}: bytes differ");
+            }
+        }
+    }
+
+    assert_eq!(
+        *pool_log.0.lock().unwrap(),
+        *ref_log.0.lock().unwrap(),
+        "{kind}: event logs differ"
+    );
+    let (sa, sb) = (pool.stats(), reference.stats());
+    assert_eq!(
+        (sa.requests, sa.hits, sa.misses, sa.evictions),
+        (sb.requests, sb.hits, sb.misses, sb.evictions),
+        "{kind}: stats differ"
+    );
+    pool.with_shard(0, |bm| {
+        let (ma, mb) = (bm.metrics(), reference.metrics());
+        assert_eq!(ma.loads.get(), mb.loads.get(), "{kind}: loads");
+        assert_eq!(ma.hits.get(), mb.hits.get(), "{kind}: hits");
+        assert_eq!(ma.borrows.get(), mb.borrows.get(), "{kind}: borrows");
+        assert_eq!(ma.retries.get(), mb.retries.get(), "{kind}: retries");
+        assert_eq!(ma.gave_up.get(), mb.gave_up.get(), "{kind}: gave up");
+        assert_eq!(ma.torn_pages.get(), mb.torn_pages.get(), "{kind}: torn");
+        assert_eq!(ma.batches.get(), mb.batches.get(), "{kind}: batches");
+        assert_eq!(
+            ma.batch_pages.sum(),
+            mb.batch_pages.sum(),
+            "{kind}: batch pages"
+        );
+        assert_eq!(
+            bm.resident_ids(),
+            reference.resident_ids(),
+            "{kind}: resident sets differ"
+        );
+    });
+    for t in 0..N_TERMS {
+        assert_eq!(
+            pool.resident_pages(TermId(t)),
+            reference.resident_pages(TermId(t)),
+            "{kind}: b_t differs for term {t}"
+        );
+    }
+    // A one-shard pool never splits a batch and never waits on another
+    // session's shard in this single-threaded stream.
+    assert_eq!(pool.metrics().batch_splits.get(), 0, "{kind}: splits");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// P = 1 equivalence under every policy, fault-free and through a
+    /// [`FaultStore`] failing every read transiently (retry budget
+    /// covering the cap), over an arbitrary mix of call shapes.
+    #[test]
+    fn one_shard_pool_is_identical_to_buffer_manager(
+        capacity in 2usize..6,
+        with_faults in proptest::any::<bool>(),
+        cap in 1u32..4,
+        seed in proptest::any::<u64>(),
+        ops in collection::vec(
+            (0u32..N_TERMS, 0u32..PAGES_PER_TERM, proptest::any::<u8>()),
+            1..50,
+        ),
+    ) {
+        for kind in PolicyKind::ALL {
+            if with_faults {
+                let cfg = FaultConfig {
+                    seed,
+                    transient_rate: 1.0,
+                    max_consecutive_faults: cap,
+                    ..FaultConfig::DISABLED
+                };
+                let faulty = Arc::new(FaultStore::new(store(), cfg));
+                let pool = ShardedBufferPool::new(Arc::clone(&faulty), capacity, kind, 1)
+                    .unwrap();
+                pool.set_fetch_policy(FetchPolicy::retries(cap));
+                // Twin store with the same seed: the fault schedule is
+                // per-store deterministic, so both sides see the same
+                // faults in the same order.
+                let twin = Arc::new(FaultStore::new(store(), cfg));
+                let mut reference = BufferManager::new(twin, capacity, kind).unwrap();
+                reference.set_fetch_policy(FetchPolicy::retries(cap));
+                assert_one_shard_matches_manager(pool, reference, &ops, kind);
+            } else {
+                let pool =
+                    ShardedBufferPool::new(Arc::new(store()), capacity, kind, 1).unwrap();
+                let reference =
+                    BufferManager::new(Arc::new(store()), capacity, kind).unwrap();
+                assert_one_shard_matches_manager(pool, reference, &ops, kind);
+            }
+        }
+    }
+}
+
+/// Tiny deterministic generator for the stress threads (the test must
+/// not depend on OS entropy).
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn concurrent_stress_keeps_shard_accounting_exact() {
+    // Capacity 128 over 4 shards: even a worst-case hash skew (all 32
+    // pages in one shard) cannot force an eviction, so the final
+    // resident set is the full working set and loss shows up exactly.
+    let pool =
+        Arc::new(ShardedBufferPool::new(Arc::new(store()), 128, PolicyKind::Lru, 4).unwrap());
+    let n_threads = 4;
+    let ops_per_thread = 500u64;
+    crossbeam::thread::scope(|scope| {
+        for th in 0..n_threads {
+            let pool = Arc::clone(&pool);
+            scope.spawn(move |_| {
+                let mut rng = 0x9e37_79b9_u64 ^ ((th as u64) << 7);
+                for _ in 0..ops_per_thread {
+                    let t = (next_rand(&mut rng) % u64::from(N_TERMS)) as u32;
+                    let p = (next_rand(&mut rng) % u64::from(PAGES_PER_TERM)) as u32;
+                    let id = PageId::new(TermId(t), p);
+                    match next_rand(&mut rng) % 3 {
+                        0 => {
+                            let plan: ReadPlan = [
+                                PlanEntry::new(id),
+                                PlanEntry::new(PageId::new(
+                                    TermId((t + 1) % N_TERMS),
+                                    (p + 3) % PAGES_PER_TERM,
+                                )),
+                            ]
+                            .into_iter()
+                            .collect();
+                            pool.fetch_batch(&plan).unwrap();
+                        }
+                        1 => {
+                            let weights: HashMap<TermId, f64> =
+                                [(TermId(t), 1.0)].into_iter().collect();
+                            pool.begin_query(&weights);
+                        }
+                        _ => {
+                            pool.fetch(id).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    // Per-shard request split: every fetch was a hit or a load,
+    // nothing double-counted even under interleaving.
+    let mut total_requests = 0;
+    for s in 0..pool.n_shards() {
+        let st = pool.shard_stats(s);
+        assert_eq!(
+            st.hits + st.misses,
+            st.requests,
+            "shard {s}: hits + loads != requests"
+        );
+        total_requests += st.requests;
+        pool.with_shard(s, |bm| {
+            let m = bm.metrics();
+            assert_eq!(
+                m.hits.get() + m.loads.get(),
+                st.requests,
+                "shard {s}: metrics disagree with stats"
+            );
+        });
+    }
+    assert!(total_requests > 0, "stress drove no traffic");
+    assert_eq!(pool.stats().requests, total_requests, "rollup disagrees");
+
+    // No lost or duplicated frames: occupancy within capacity, b_t
+    // sums to occupancy, and every resident page sits in the shard the
+    // hash routes it to.
+    assert!(pool.len() <= pool.capacity(), "pool over capacity");
+    let bt_sum: u64 = (0..N_TERMS)
+        .map(|t| u64::from(pool.resident_pages(TermId(t))))
+        .sum();
+    assert_eq!(bt_sum, pool.len() as u64, "b_t disagrees with occupancy");
+    let mut resident_total = 0;
+    for s in 0..pool.n_shards() {
+        let ids = pool.with_shard(s, |bm| bm.resident_ids());
+        resident_total += ids.len();
+        for id in ids {
+            assert_eq!(
+                pool.shard_of(id),
+                s,
+                "page {id:?} resident in a shard the hash does not own"
+            );
+        }
+    }
+    assert_eq!(resident_total, pool.len(), "shard occupancy sums wrong");
+    // With capacity beyond the whole working set, nothing was evicted:
+    // the resident set is exactly every distinct page ever requested.
+    assert_eq!(
+        pool.len(),
+        (N_TERMS * PAGES_PER_TERM) as usize,
+        "working set fits, so every page stays resident"
+    );
+}
