@@ -3,7 +3,7 @@
 //! is the paper's 404 entries.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use ir_index::{decode_postings, encode_postings};
+use ir_index::{decode_postings, decode_postings_into, encode_postings};
 use ir_types::{frequency_order, Posting};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -34,6 +34,19 @@ fn bench_codec(c: &mut Criterion) {
     });
     g.bench_function("decode_404_entry_page", |b| {
         b.iter(|| decode_postings(black_box(encoded.clone())).unwrap())
+    });
+    // The scratch-buffer variant: same codec work, zero allocator
+    // traffic after the first iteration — the delta against the plain
+    // decode is the per-page `Vec<Posting>` cost the eval loop avoids.
+    g.bench_function("decode_404_entry_page_into_scratch", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            assert!(decode_postings_into(
+                black_box(encoded.clone()),
+                &mut scratch
+            ));
+            black_box(scratch.len())
+        })
     });
     g.finish();
 }

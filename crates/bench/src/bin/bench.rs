@@ -25,7 +25,7 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
        bench compare BASELINE CURRENT [--tolerance FRACTION]
        bench chaos [--seed N] [--scale SIGMA]
-       bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE]";
+       bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE] [--gate-scaling]";
 
 fn run_report(args: &[String]) -> Result<(), String> {
     let mut scale = 1.0 / 16.0;
@@ -169,6 +169,7 @@ fn run_throughput(args: &[String]) -> Result<(), String> {
     let mut shards = 4usize;
     let mut repeats = 3usize;
     let mut out = "BENCH_throughput.json".to_string();
+    let mut gate_scaling = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,6 +212,7 @@ fn run_throughput(args: &[String]) -> Result<(), String> {
                 i += 1;
                 out = args.get(i).ok_or("--out needs a file path")?.clone();
             }
+            "--gate-scaling" => gate_scaling = true,
             other => return Err(format!("unknown throughput flag {other:?}")),
         }
         i += 1;
@@ -221,6 +223,23 @@ fn run_throughput(args: &[String]) -> Result<(), String> {
     print!("{text}");
     std::fs::write(&out, ir_bench::throughput::to_json(&report) + "\n")
         .map_err(|e| format!("writing {out}: {e}"))?;
+    if gate_scaling {
+        // Gate text carries wall-clock ratios → stderr only, so the
+        // stdout determinism contract survives a gated run.
+        match ir_bench::throughput::gate_scaling(&report, 4) {
+            Ok(summary) => eprint!("scaling gate passed:\n{summary}"),
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("SCALING REGRESSION: {p}");
+                }
+                return Err(format!(
+                    "{} scaling violation(s): the sharded pool must beat the shared \
+                     mutex at sessions >= 4 (ROADMAP Open item 1)",
+                    problems.len()
+                ));
+            }
+        }
+    }
     Ok(())
 }
 

@@ -24,7 +24,12 @@ use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Bumped whenever the throughput-report shape changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `lock_wait_us` is now derived from a nanosecond-resolution
+/// histogram (`sharded.lock_wait_ns`) — the v1 number truncated each
+/// contended wait to whole µs *before* summing, silently zeroing
+/// sub-µs waits, so v1 and v2 totals are not comparable.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Replacement policy used for every cell. Contention behavior, not
 /// eviction quality, is the variable under test, so one policy is
@@ -54,7 +59,8 @@ pub struct ThroughputRow {
     /// 99th-percentile per-query evaluation latency, µs.
     pub p99_eval_us: u64,
     /// Total time sessions spent blocked on shard locks, µs (0 for the
-    /// single-mutex pool, which is not instrumented).
+    /// single-mutex pool, which is not instrumented). Accumulated in
+    /// nanoseconds and divided once at the end (schema v2).
     pub lock_wait_us: u64,
     /// Read plans that spanned more than one shard (0 for the
     /// single-mutex pool).
@@ -251,6 +257,76 @@ pub fn to_json(report: &ThroughputReport) -> String {
     serde_json::to_string(report).expect("throughput report serialization cannot fail")
 }
 
+/// Evaluates the scaling exit criterion (ROADMAP Open item 1) against
+/// a finished report: at every session count ≥ `min_sessions` where
+/// both layouts ran, the sharded pool must deliver at least the
+/// shared-mutex pool's throughput *in the same run*. Query counts are
+/// compared exactly — they are deterministic, so any drift is a bug,
+/// not noise — while wall time is compared as a qps ratio with no
+/// slack in the sharded pool's favor.
+///
+/// Returns a per-cell summary on success and the list of violations on
+/// failure. Callers should print either to **stderr**: the gate text
+/// contains wall-clock-derived ratios, and stdout's determinism
+/// contract (two runs diff byte-identical) must hold.
+pub fn gate_scaling(report: &ThroughputReport, min_sessions: u64) -> Result<String, Vec<String>> {
+    let mut summary = String::new();
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for shared in report.rows.iter().filter(|r| r.pool == "shared") {
+        if shared.sessions < min_sessions {
+            continue;
+        }
+        let Some(sharded) = report
+            .rows
+            .iter()
+            .find(|r| r.pool.starts_with("sharded[") && r.sessions == shared.sessions)
+        else {
+            continue;
+        };
+        checked += 1;
+        let n = shared.sessions;
+        if sharded.queries != shared.queries {
+            problems.push(format!(
+                "sessions {n}: query counts diverge ({} sharded vs {} shared) — \
+                 the workload is deterministic, so the layouts ran different work",
+                sharded.queries, shared.queries
+            ));
+            continue;
+        }
+        let ratio = if shared.queries_per_sec > 0.0 {
+            sharded.queries_per_sec / shared.queries_per_sec
+        } else {
+            f64::INFINITY
+        };
+        if sharded.queries_per_sec < shared.queries_per_sec {
+            problems.push(format!(
+                "sessions {n}: {} at {:.0} qps lost to shared at {:.0} qps (ratio {ratio:.2}) — \
+                 sharding must not regress below the single mutex at scale",
+                sharded.pool, sharded.queries_per_sec, shared.queries_per_sec
+            ));
+        } else {
+            let _ = writeln!(
+                summary,
+                "sessions {n}: {} {:.0} qps >= shared {:.0} qps (ratio {ratio:.2}, \
+                 {} batch splits)",
+                sharded.pool, sharded.queries_per_sec, shared.queries_per_sec, sharded.batch_splits
+            );
+        }
+    }
+    if checked == 0 {
+        problems.push(format!(
+            "no comparable shared/sharded cells at sessions >= {min_sessions}; \
+             widen --sessions so the gate has something to check"
+        ));
+    }
+    if problems.is_empty() {
+        Ok(summary)
+    } else {
+        Err(problems)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,7 +363,7 @@ mod tests {
             assert!(r.p50_eval_us <= r.p99_eval_us);
         }
         let json = to_json(&rep);
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"queries_per_sec\""));
     }
 
@@ -295,5 +371,75 @@ mod tests {
     fn empty_sweep_and_zero_repeats_are_rejected() {
         assert!(run(1.0 / 32.0, &[], 2, 1).is_err());
         assert!(run(1.0 / 32.0, &[1], 2, 0).is_err());
+    }
+
+    fn gate_row(pool: &str, sessions: u64, queries: u64, qps: f64) -> ThroughputRow {
+        ThroughputRow {
+            pool: pool.to_string(),
+            sessions,
+            queries,
+            total_reads: 100,
+            buffer_hits: 50,
+            wall_us: 1_000,
+            queries_per_sec: qps,
+            p50_eval_us: 10,
+            p99_eval_us: 20,
+            lock_wait_us: 0,
+            batch_splits: 0,
+        }
+    }
+
+    fn gate_report(rows: Vec<ThroughputRow>) -> ThroughputReport {
+        ThroughputReport {
+            schema_version: SCHEMA_VERSION,
+            scale: 1.0,
+            shards: 4,
+            repeats: 1,
+            total_frames: 64,
+            rows,
+        }
+    }
+
+    #[test]
+    fn scaling_gate_passes_when_sharded_wins_at_scale() {
+        let rep = gate_report(vec![
+            // Below the gate threshold the sharded pool may lose.
+            gate_row("shared", 1, 40, 9000.0),
+            gate_row("sharded[4]", 1, 40, 7000.0),
+            gate_row("shared", 4, 160, 4000.0),
+            gate_row("sharded[4]", 4, 160, 5000.0),
+            gate_row("shared", 8, 320, 3700.0),
+            gate_row("sharded[4]", 8, 320, 3700.0), // ties pass
+        ]);
+        let summary = gate_scaling(&rep, 4).expect("gate must pass");
+        assert!(summary.contains("sessions 4"));
+        assert!(summary.contains("sessions 8"));
+    }
+
+    #[test]
+    fn scaling_gate_fails_on_qps_loss_or_query_drift() {
+        let slow = gate_report(vec![
+            gate_row("shared", 4, 160, 5000.0),
+            gate_row("sharded[4]", 4, 160, 4999.0),
+        ]);
+        let problems = gate_scaling(&slow, 4).unwrap_err();
+        assert!(problems[0].contains("lost to shared"), "{problems:?}");
+
+        let drifted = gate_report(vec![
+            gate_row("shared", 4, 160, 4000.0),
+            gate_row("sharded[4]", 4, 159, 5000.0),
+        ]);
+        let problems = gate_scaling(&drifted, 4).unwrap_err();
+        assert!(problems[0].contains("query counts diverge"), "{problems:?}");
+    }
+
+    #[test]
+    fn scaling_gate_refuses_an_uncheckable_sweep() {
+        let rep = gate_report(vec![
+            gate_row("shared", 2, 80, 5000.0),
+            gate_row("sharded[4]", 2, 80, 6000.0),
+        ]);
+        let problems = gate_scaling(&rep, 4).unwrap_err();
+        assert!(problems[0].contains("no comparable"), "{problems:?}");
     }
 }

@@ -21,7 +21,7 @@ use crate::stats::{EvalStats, QueryResult, TermTraceRow};
 use ir_index::InvertedIndex;
 use ir_observe::SpanKind;
 use ir_storage::QueryBuffer;
-use ir_types::{IrResult, ListOrdering, PageId, ReadPlan};
+use ir_types::{IrResult, ListOrdering, PageId, ReadPlan, TermId};
 
 /// Runs BAF.
 pub fn evaluate_baf<B: QueryBuffer>(
@@ -53,6 +53,11 @@ pub fn evaluate_baf<B: QueryBuffer>(
     let mut qspan = ir_observe::tracer().span(SpanKind::Query, "baf");
     qspan.attr("terms", n as i64);
 
+    // Round-reused scratch for the live candidate set, so the selection
+    // loop allocates nothing after the first round.
+    let mut live: Vec<usize> = Vec::with_capacity(n);
+    let mut live_terms: Vec<TermId> = Vec::with_capacity(n);
+
     for round in 0..n {
         // Step 3a-i/ii: refresh (f_add, p_t) only if S_max moved.
         if s_max != cache_valid_for {
@@ -70,15 +75,27 @@ pub fn evaluate_baf<B: QueryBuffer>(
         // Step 3a-iii/iv: live b_t per unmarked term; pick min d_t.
         // The whole round — selection plus the chosen term's scan —
         // reports as one `term-select` span under the query.
+        // One batched `b_t` inquiry per round: against a sharded pool a
+        // per-term `resident_pages` call locks every shard, so a round
+        // over T candidates took T·P locks; `resident_pages_many` takes
+        // one pass (P locks) for the whole candidate set. Each term
+        // still counts as one inquiry, preserving the paper's
+        // T(T+1)/2 accounting.
         let mut sel_span = qspan.child(SpanKind::TermSelect, format!("round:{round}"));
-        let mut best: Option<(usize, u32)> = None;
+        live.clear();
+        live_terms.clear();
         for (i, t) in terms.iter().enumerate() {
-            if done[i] {
-                continue;
+            if !done[i] {
+                live.push(i);
+                live_terms.push(t.term);
             }
-            let b_t = buffer.resident_pages(t.term);
-            stats.bt_inquiries += 1;
-            let d_t = pt_cache[i].saturating_sub(b_t);
+        }
+        let b_ts = buffer.resident_pages_many(&live_terms);
+        stats.bt_inquiries += live.len() as u64;
+        let mut best: Option<(usize, u32)> = None;
+        for (k, &i) in live.iter().enumerate() {
+            let t = &terms[i];
+            let d_t = pt_cache[i].saturating_sub(b_ts[k]);
             let better = match best {
                 None => true,
                 Some((j, best_d)) => {

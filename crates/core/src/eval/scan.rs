@@ -4,8 +4,19 @@
 use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
 use ir_observe::{Span, SpanKind};
-use ir_storage::{FetchOutcome, QueryBuffer};
+use ir_storage::{FetchOutcome, Page, QueryBuffer};
 use ir_types::{IrResult, ReadPlan};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Reusable batch-result scratch: `scan_term` runs once per term per
+    /// query on every session thread, and a fresh `Vec<(Page,
+    /// FetchOutcome)>` per scan was measurable allocator traffic under
+    /// the throughput bench. The vector is taken for the duration of
+    /// one scan and handed back cleared (dropping its page refs), so
+    /// its capacity — not its contents — survives between scans.
+    static FETCH_SCRATCH: RefCell<Vec<(Page, FetchOutcome)>> = const { RefCell::new(Vec::new()) };
+}
 
 /// What one term scan did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -55,7 +66,12 @@ pub(crate) fn scan_term<B: QueryBuffer>(
     // was served from this caller's frames, a sibling's, or disk — so
     // the counts stay per-query even when other sessions drive the
     // same pool concurrently (pool-wide miss deltas don't).
-    let fetched = buffer.fetch_batch(&plan)?;
+    let mut fetched = FETCH_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    if let Err(e) = buffer.fetch_batch_into(&plan, &mut fetched) {
+        fetched.clear();
+        FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
+        return Err(e);
+    }
     'pages: for (i, (page, how)) in fetched.iter().enumerate() {
         out.pages_processed += 1;
         match how {
@@ -91,6 +107,8 @@ pub(crate) fn scan_term<B: QueryBuffer>(
             }
         }
     }
+    fetched.clear();
+    FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
     if let Some(s) = span.as_mut() {
         s.attr("pages_processed", i64::from(out.pages_processed));
         s.attr("pages_read", i64::from(out.pages_read));

@@ -222,7 +222,8 @@ pub struct ServerReport {
     pub queries_per_sec: f64,
     /// Total time sessions spent waiting on shard locks, µs (0 for
     /// non-sharded layouts, where the single mutex's wait is not
-    /// instrumented).
+    /// instrumented). Accumulated at nanosecond resolution — sub-µs
+    /// contended waits no longer truncate to zero — then reported in µs.
     pub lock_wait_us: u64,
     /// Read plans that spanned more than one shard (0 for non-sharded
     /// layouts).
@@ -322,12 +323,38 @@ impl QueryBuffer for SessionBuffer {
         }
     }
 
+    fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        // Forwarded so the eval loop's scratch vector reaches the pool
+        // instead of bouncing through a fresh allocation per scan.
+        match self {
+            SessionBuffer::Shared(p) => p.fetch_batch_into(plan, out),
+            SessionBuffer::GlobalShared { pool, .. } => pool.fetch_batch_into(plan, out),
+            SessionBuffer::Partition(h) => h.fetch_batch_into(plan, out),
+            SessionBuffer::Sharded(p) => QueryBuffer::fetch_batch_into(p, plan, out),
+        }
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         match self {
             SessionBuffer::Shared(p) => p.resident_pages(term),
             SessionBuffer::GlobalShared { pool, .. } => pool.resident_pages(term),
             SessionBuffer::Partition(h) => h.resident_pages(term),
             SessionBuffer::Sharded(p) => ShardedBufferPool::resident_pages(p, term),
+        }
+    }
+
+    fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
+        // Forwarded so BAF's per-round candidate sweep costs one pass
+        // over the sharded pool instead of one all-shard lock per term.
+        match self {
+            SessionBuffer::Shared(p) => p.resident_pages_many(terms),
+            SessionBuffer::GlobalShared { pool, .. } => pool.resident_pages_many(terms),
+            SessionBuffer::Partition(h) => h.resident_pages_many(terms),
+            SessionBuffer::Sharded(p) => ShardedBufferPool::resident_pages_many(p, terms),
         }
     }
 
@@ -685,10 +712,17 @@ impl<'a> SessionServer<'a> {
             }),
             ServerPool::Sharded(p) => {
                 let metrics = p.metrics();
-                lock_wait_us = metrics.lock_wait_us.sum();
+                // The histogram is nanosecond-resolution (sub-µs shard
+                // waits used to truncate to 0); the report stays in µs.
+                lock_wait_us = metrics.lock_wait_ns.sum() / 1_000;
                 batch_splits = metrics.batch_splits.get();
-                let b_t: u64 = all_terms
-                    .map(|t| u64::from(ShardedBufferPool::resident_pages(p, t)))
+                // One pass over the shards for the whole lexicon's b_t
+                // rollup instead of an all-shard lock per term.
+                let term_ids: Vec<TermId> = all_terms.collect();
+                let b_t: u64 = p
+                    .resident_pages_many(&term_ids)
+                    .into_iter()
+                    .map(u64::from)
                     .sum();
                 (
                     ShardedBufferPool::stats(p),

@@ -141,16 +141,37 @@ pub fn encode_postings(postings: &[Posting]) -> Bytes {
 /// counts, non-decreasing frequencies). Each call records one page
 /// decode and the compressed byte count on the global `ir-observe`
 /// registry (`index.pages_decoded` / `index.bytes_decompressed`).
-pub fn decode_postings(mut data: Bytes) -> Option<Vec<Posting>> {
+pub fn decode_postings(data: Bytes) -> Option<Vec<Posting>> {
+    let mut out = Vec::new();
+    decode_postings_into(data, &mut out).then_some(out)
+}
+
+/// Decodes postings produced by [`encode_postings`] into a caller-owned
+/// vector, reusing its capacity — the scratch-buffer counterpart of
+/// [`decode_postings`] for hot paths that decode one page per fetch and
+/// would otherwise allocate a fresh `Vec<Posting>` each time.
+///
+/// Clears `out` first. Returns `false` on any malformed input (`out`
+/// then holds at most a partial decode and must not be used); the
+/// counters recorded match [`decode_postings`] exactly.
+pub fn decode_postings_into(mut data: Bytes, out: &mut Vec<Posting>) -> bool {
+    out.clear();
     let (pages, bytes) = decode_counters();
     pages.inc();
     bytes.add(data.remaining() as u64);
-    let n = get_vbyte(&mut data)? as usize;
+    let Some(n) = get_vbyte(&mut data).map(|v| v as usize) else {
+        return false;
+    };
     // Guard against hostile counts: each posting costs ≥ 1 byte.
     if n > data.remaining().saturating_mul(2) + 2 {
-        return None;
+        return false;
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
+    decode_body(data, n, out).is_some()
+}
+
+/// The run-decoding loop shared by both decode entry points.
+fn decode_body(mut data: Bytes, n: usize, out: &mut Vec<Posting>) -> Option<()> {
     let mut freq: Option<u32> = None;
     while out.len() < n {
         let header = get_vbyte(&mut data)?;
@@ -176,7 +197,7 @@ pub fn decode_postings(mut data: Bytes) -> Option<Vec<Posting>> {
             });
         }
     }
-    Some(out)
+    Some(())
 }
 
 /// Encodes and measures without keeping the bytes.

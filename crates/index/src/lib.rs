@@ -31,10 +31,10 @@ pub mod forward;
 pub mod index;
 pub mod lexicon;
 pub mod persist;
-mod scan_geometry;
+pub mod scan_geometry;
 
 pub use builder::{BuildOptions, IndexBuilder};
-pub use compress::{decode_postings, encode_postings, CompressionStats};
+pub use compress::{decode_postings, decode_postings_into, encode_postings, CompressionStats};
 pub use conversion::ConversionTable;
 pub use conversion_compact::CompactConversionTable;
 pub use docstats::DocStats;

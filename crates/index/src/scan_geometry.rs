@@ -21,7 +21,13 @@
 ///   forces a full scan — every page (footnote 14's regime).
 /// * Otherwise (frequency-sorted): the first failing entry is posting
 ///   `above` (0-based), so its page is the last one processed.
-pub(crate) fn pages_for_scan(above: u64, total: u64, page_size: usize, early_stop: bool) -> u32 {
+///
+/// The result is always a **prefix**: a scan of `k` pages touches pages
+/// `0..k` of the list, never a gap. The sharded buffer pool's term-chunk
+/// routing relies on this — `ReadPlan::for_term_pages` plans exactly
+/// such a prefix, so any scan no longer than the pool's chunk size maps
+/// onto a single shard and the batch never splits.
+pub fn pages_for_scan(above: u64, total: u64, page_size: usize, early_stop: bool) -> u32 {
     if above == 0 {
         return 0;
     }

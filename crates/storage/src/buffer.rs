@@ -8,9 +8,29 @@ use crate::page::Page;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferMetrics, BufferStats};
 use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
+use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// The resident-frame table behind a read-write lock, cloneable so a
+/// lock-striped wrapper ([`ShardedBufferPool`](crate::ShardedBufferPool))
+/// can serve buffer hits under a shared read lock without entering the
+/// manager's exclusive critical section. Every mutation goes through
+/// `&mut BufferManager` methods, so in single-owner use the lock is
+/// always uncontended and the manager behaves exactly as it did when
+/// the map was a plain field.
+pub(crate) type FrameView = Arc<RwLock<HashMap<PageId, Page>>>;
+
+/// Shared handle to the manager's per-term resident-page counters
+/// (`b_t`), the [`FrameView`] pattern applied to BAF's term-selection
+/// reads. The counters change only on load/evict/flush — never on a
+/// hit — so readers holding only the `RwLock` see exactly the values a
+/// locked [`resident_pages`](BufferManager::resident_pages) call would
+/// return, and the sharded pool's term selector never has to queue
+/// behind a shard serving disk reads.
+pub(crate) type TermView = Arc<RwLock<HashMap<TermId, u32>>>;
 
 /// How a completed fetch was served — reported per call so each
 /// session can attribute its own hits and reads exactly, with no
@@ -138,10 +158,10 @@ impl FetchPolicy {
 pub struct BufferManager<S: PageStore> {
     store: S,
     capacity: usize,
-    frames: HashMap<PageId, Page>,
+    frames: FrameView,
     policy: Box<dyn ReplacementPolicy>,
     policy_kind: PolicyKind,
-    resident_per_term: HashMap<TermId, u32>,
+    resident_per_term: TermView,
     pins: HashMap<PageId, u32>,
     fetch_policy: FetchPolicy,
     metrics: BufferMetrics,
@@ -160,10 +180,10 @@ impl<S: PageStore> BufferManager<S> {
         Ok(BufferManager {
             store,
             capacity,
-            frames: HashMap::with_capacity(capacity),
+            frames: Arc::new(RwLock::new(HashMap::with_capacity(capacity))),
             policy: policy.build(capacity),
             policy_kind: policy,
-            resident_per_term: HashMap::new(),
+            resident_per_term: Arc::new(RwLock::new(HashMap::new())),
             pins: HashMap::new(),
             fetch_policy: FetchPolicy::NO_RETRY,
             metrics: BufferMetrics::new(),
@@ -189,8 +209,8 @@ impl<S: PageStore> BufferManager<S> {
     pub(crate) fn fetch_one_hinted(&mut self, entry: PlanEntry) -> IrResult<(Page, FetchOutcome)> {
         let id = entry.page;
         self.metrics.requests.inc();
-        if let Some(page) = self.frames.get(&id) {
-            let page = page.clone();
+        let resident = self.frames.read().get(&id).cloned();
+        if let Some(page) = resident {
             self.metrics.hits.inc();
             self.policy.on_hit(&page);
             self.notify(BufferEvent::Hit(id));
@@ -200,15 +220,51 @@ impl<S: PageStore> BufferManager<S> {
         // read therefore leaves the pool exactly as it was — the old
         // evict-then-read order destroyed a victim frame for a page
         // that never arrived.
-        if self.frames.len() >= self.capacity && !self.has_evictable_frame() {
+        if self.frames.read().len() >= self.capacity && !self.has_evictable_frame() {
             return Err(IrError::NoEvictableFrame);
         }
         let page = self.read_with_retry(id)?;
-        while self.frames.len() >= self.capacity {
+        while self.frames.read().len() >= self.capacity {
             self.evict_one()?;
         }
         self.install_hinted(page.clone(), false, entry.value_hint);
         Ok((page, FetchOutcome::Miss))
+    }
+
+    /// A cloneable handle to the resident-frame table, for wrappers
+    /// that serve hits under a shared read lock.
+    pub(crate) fn frame_view(&self) -> FrameView {
+        Arc::clone(&self.frames)
+    }
+
+    /// A cloneable handle to the `b_t` counters, for wrappers that
+    /// answer resident-page inquiries without the manager's lock.
+    pub(crate) fn term_view(&self) -> TermView {
+        Arc::clone(&self.resident_per_term)
+    }
+
+    /// Whether the replacement policy reacts to
+    /// [`begin_query`](Self::begin_query) at all (only RAP does).
+    /// Wrappers use this to skip the announcement — and the locking it
+    /// costs — for context-oblivious policies.
+    pub fn uses_query_context(&self) -> bool {
+        self.policy.uses_query_context()
+    }
+
+    /// Applies a buffer hit that a lock-light wrapper already served
+    /// and counted: the replacement policy sees the hit and the
+    /// observer sees the event, in the order the wrapper recorded
+    /// them. The request/hit counters were incremented at serve time
+    /// (the handles are atomic), so only the deferred effects run
+    /// here. If the page was evicted between serve and replay the
+    /// policy update is moot and is skipped; the event still fires
+    /// because the request *was* served from a resident frame.
+    pub(crate) fn apply_deferred_hit(&mut self, id: PageId) {
+        let page = self.frames.read().get(&id).cloned();
+        if let Some(page) = page {
+            self.policy.on_hit(&page);
+        }
+        self.notify(BufferEvent::Hit(id));
     }
 
     /// Executes a [`ReadPlan`]: every entry is served — hit, store
@@ -231,10 +287,57 @@ impl<S: PageStore> BufferManager<S> {
     /// Errors abort the remainder of the plan; entries already served
     /// keep their effects, exactly as sequential fetches would.
     pub fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        let mut out = Vec::with_capacity(plan.len());
+        self.fetch_batch_into(plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`fetch_batch`](Self::fetch_batch) writing into a caller-owned
+    /// buffer — the scratch-reuse form the evaluation loop uses so a
+    /// per-term scan does not allocate a fresh result vector on every
+    /// query. `out` is cleared first; on error it holds the entries
+    /// served before the failure (whose effects stand, exactly as in
+    /// the allocating form).
+    pub fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        out.clear();
         self.metrics.batches.inc();
         self.metrics.batch_pages.record(plan.len() as u64);
-        let entries = plan.entries();
-        let mut out = Vec::with_capacity(entries.len());
+        self.fetch_entries(plan.entries(), out)
+    }
+
+    /// Executes `plan` from entry `start` onward, **appending** to
+    /// `out`, and records the batch metrics for the *whole* plan. For
+    /// lock-light wrappers that already served entries `0..start` as
+    /// resident hits (with eager counters and deferred policy effects
+    /// replayed before this call): the combined accounting — counters,
+    /// events, store reads, batch histogram — is exactly what
+    /// [`fetch_batch_into`](Self::fetch_batch_into) would have
+    /// produced for the full plan, because the wrapper's prefix is
+    /// precisely the hits this method would have served first.
+    pub(crate) fn fetch_batch_tail(
+        &mut self,
+        plan: &ReadPlan,
+        start: usize,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        self.metrics.batches.inc();
+        self.metrics.batch_pages.record(plan.len() as u64);
+        self.fetch_entries(&plan.entries()[start..], out)
+    }
+
+    /// The batch execution loop over a slice of plan entries,
+    /// appending to `out`. Batch-level metrics are the caller's
+    /// responsibility.
+    fn fetch_entries(
+        &mut self,
+        entries: &[PlanEntry],
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        out.reserve(entries.len());
         let mut i = 0;
         while i < entries.len() {
             let entry = entries[i];
@@ -245,17 +348,20 @@ impl<S: PageStore> BufferManager<S> {
             // checksums (the store cannot tear), so reading the run in
             // one store call and installing in order is
             // behaviour-identical.
-            if !self.frames.contains_key(&entry.page) && !self.store.can_tear() {
-                let budget = self.capacity.saturating_sub(self.frames.len());
+            if !self.frames.read().contains_key(&entry.page) && !self.store.can_tear() {
+                let budget = self.capacity.saturating_sub(self.frames.read().len());
                 let mut seen: HashSet<PageId> =
                     HashSet::with_capacity(budget.min(entries.len() - i));
                 let mut end = i;
-                while end < entries.len()
-                    && end - i < budget
-                    && !self.frames.contains_key(&entries[end].page)
-                    && seen.insert(entries[end].page)
                 {
-                    end += 1;
+                    let frames = self.frames.read();
+                    while end < entries.len()
+                        && end - i < budget
+                        && !frames.contains_key(&entries[end].page)
+                        && seen.insert(entries[end].page)
+                    {
+                        end += 1;
+                    }
                 }
                 if end > i {
                     let ids: Vec<PageId> = entries[i..end].iter().map(|e| e.page).collect();
@@ -287,7 +393,7 @@ impl<S: PageStore> BufferManager<S> {
             out.push((page, outcome));
             i += 1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// One store read, rejecting torn deliveries: a page whose content
@@ -362,10 +468,10 @@ impl<S: PageStore> BufferManager<S> {
     /// [`IrError::NoEvictableFrame`] if the pool is full of pinned
     /// pages; the pool is left unchanged.
     pub fn admit(&mut self, page: Page) -> IrResult<()> {
-        if self.frames.contains_key(&page.id()) {
+        if self.frames.read().contains_key(&page.id()) {
             return Ok(());
         }
-        while self.frames.len() >= self.capacity {
+        while self.frames.read().len() >= self.capacity {
             self.evict_one()?;
         }
         self.install(page, true);
@@ -386,7 +492,7 @@ impl<S: PageStore> BufferManager<S> {
     /// hint-accuracy counters.
     fn install_hinted(&mut self, page: Page, borrowed: bool, hint: Option<f64>) {
         let id = page.id();
-        *self.resident_per_term.entry(id.term).or_insert(0) += 1;
+        *self.resident_per_term.write().entry(id.term).or_insert(0) += 1;
         let assigned = self.policy.on_insert_hinted(&page, hint);
         if let (Some(h), Some(actual)) = (hint, assigned) {
             let estimated = page.max_weight() * h;
@@ -394,7 +500,7 @@ impl<S: PageStore> BufferManager<S> {
             self.metrics.hint_abs_error_milli.add(err_milli);
             self.metrics.hinted_inserts.inc();
         }
-        self.frames.insert(id, page);
+        self.frames.write().insert(id, page);
         if borrowed {
             self.metrics.borrows.inc();
             self.notify(BufferEvent::Borrow(id));
@@ -407,8 +513,8 @@ impl<S: PageStore> BufferManager<S> {
     /// Is any resident page evictable? O(1) while fewer pages are
     /// pinned than resident; a scan only when the two counts tie.
     fn has_evictable_frame(&self) -> bool {
-        self.pins.len() < self.frames.len()
-            || self.frames.keys().any(|id| !self.pins.contains_key(id))
+        let frames = self.frames.read();
+        self.pins.len() < frames.len() || frames.keys().any(|id| !self.pins.contains_key(id))
     }
 
     #[inline]
@@ -443,20 +549,21 @@ impl<S: PageStore> BufferManager<S> {
             self.notify(BufferEvent::SkipPinned(id));
         }
         debug_assert!(
-            self.frames.contains_key(&victim),
+            self.frames.read().contains_key(&victim),
             "policy returned a non-resident victim"
         );
-        self.frames.remove(&victim);
+        self.frames.write().remove(&victim);
         if victim.page.0 == 0 {
             self.metrics.evictions_head.inc();
         } else {
             self.metrics.evictions_tail.inc();
         }
         self.notify(BufferEvent::Evict(victim));
-        if let Some(count) = self.resident_per_term.get_mut(&victim.term) {
+        let mut terms = self.resident_per_term.write();
+        if let Some(count) = terms.get_mut(&victim.term) {
             *count -= 1;
             if *count == 0 {
-                self.resident_per_term.remove(&victim.term);
+                terms.remove(&victim.term);
             }
         }
         Ok(())
@@ -466,13 +573,17 @@ impl<S: PageStore> BufferManager<S> {
     /// pool. O(1).
     #[inline]
     pub fn resident_pages(&self, term: TermId) -> u32 {
-        self.resident_per_term.get(&term).copied().unwrap_or(0)
+        self.resident_per_term
+            .read()
+            .get(&term)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Is a specific page resident?
     #[inline]
     pub fn is_resident(&self, id: PageId) -> bool {
-        self.frames.contains_key(&id)
+        self.frames.read().contains_key(&id)
     }
 
     /// Returns the resident page without touching statistics, the
@@ -480,14 +591,14 @@ impl<S: PageStore> BufferManager<S> {
     /// for cross-partition borrowing and diagnostics.
     #[inline]
     pub fn peek(&self, id: PageId) -> Option<Page> {
-        self.frames.get(&id).cloned()
+        self.frames.read().get(&id).cloned()
     }
 
     /// Every resident page id, sorted — the pool's frame contents as a
     /// comparable value (chaos and property tests diff two pools with
     /// it).
     pub fn resident_ids(&self) -> Vec<PageId> {
-        let mut ids: Vec<PageId> = self.frames.keys().copied().collect();
+        let mut ids: Vec<PageId> = self.frames.read().keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -542,8 +653,8 @@ impl<S: PageStore> BufferManager<S> {
     /// *sequences*, never between refinements). Statistics survive;
     /// use [`reset_stats`](Self::reset_stats) to zero them.
     pub fn flush(&mut self) {
-        self.frames.clear();
-        self.resident_per_term.clear();
+        self.frames.write().clear();
+        self.resident_per_term.write().clear();
         self.policy.clear();
         self.pins.clear();
         self.notify(BufferEvent::Flush);
@@ -583,12 +694,12 @@ impl<S: PageStore> BufferManager<S> {
 
     /// Number of frames in use.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.frames.read().len()
     }
 
     /// `true` when no page is resident.
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.frames.read().is_empty()
     }
 
     /// Pool capacity in pages (`BufferSize` in Table 3).

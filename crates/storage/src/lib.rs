@@ -45,7 +45,7 @@ pub use observe::{BufferEvent, BufferObserver, EventCounts, EventLog};
 pub use page::Page;
 pub use partition::PartitionedBuffer;
 pub use policy::{PolicyKind, ReplacementPolicy};
-pub use sharded::{ShardMetrics, ShardedBufferPool, LOCK_WAIT_US_BOUNDS};
+pub use sharded::{ShardMetrics, ShardedBufferPool, LOCK_WAIT_NS_BOUNDS};
 pub use shared::{
     PartitionHandle, QueryBuffer, Shared, SharedBufferManager, SharedPartitionedBuffer,
 };

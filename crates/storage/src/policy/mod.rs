@@ -81,6 +81,14 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
         let _ = weights;
     }
 
+    /// Does [`begin_query`](Self::begin_query) do anything for this
+    /// policy? `false` (the default) tells pool wrappers the
+    /// announcement is a no-op, so they may skip it — and any lock
+    /// acquisitions it would cost — entirely. Only RAP returns `true`.
+    fn uses_query_context(&self) -> bool {
+        false
+    }
+
     /// A page became resident, with the read plan's value hint (the
     /// planning query's `w_{q,t}` for the page's term) if the planner
     /// supplied one.

@@ -178,6 +178,10 @@ impl ReplacementPolicy for Rap {
             self.insert_keyed(id, w);
         }
     }
+
+    fn uses_query_context(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -5,19 +5,47 @@
 //! serializes *every* fetch — including pure buffer hits on Arc-shared
 //! pages — so N sessions on N cores collapse to one core's worth of
 //! buffer throughput. [`ShardedBufferPool`] partitions the frames
-//! across `P` shards by [`PageId`] hash (the LevelDB/RocksDB
-//! `ShardedCache` construction): each shard owns its own frame table,
+//! across `P` shards (the LevelDB/RocksDB `ShardedCache`
+//! construction): each shard owns its own frame table,
 //! replacement-policy instance, [`BufferMetrics`] and
-//! [`parking_lot::Mutex`], so concurrent hits on different shards never
-//! contend and no global lock exists on the hot path.
+//! [`parking_lot::Mutex`], so concurrent traffic on different shards
+//! never contends and no global lock exists on the hot path.
+//!
+//! ## Locking protocol
+//!
+//! * **Term-chunk routing.** Pages route to shards by
+//!   `(term, page / chunk_pages)`, so a prefix scan of up to
+//!   `chunk_pages` pages — the common single-list [`ReadPlan`] — lands
+//!   entirely on one shard and locks exactly one mutex. Only lists
+//!   longer than a chunk subdivide, at chunk granularity. The map is a
+//!   pure function of the [`PageId`] and the pool geometry; with
+//!   `chunk_pages = 1` it degenerates to the original per-page
+//!   scatter (see [`with_chunk_pages`]).
+//! * **Lock-light hit path.** A buffer hit is served under the shard's
+//!   frame-table *read* lock: the page is cloned, the request/hit
+//!   counters bump atomically, and the replacement-policy and observer
+//!   effects are queued. The next exclusive acquisition of that
+//!   shard's mutex replays the queued hits in serve order before doing
+//!   anything else, so policy state at any mutation point equals the
+//!   in-order fold of hits — single-threaded runs stay event-for-event
+//!   identical to an unsharded [`BufferManager`]. Only misses,
+//!   evictions, announcements and inspection take the exclusive mutex.
+//! * **Execute-and-release batches.** A cross-shard
+//!   [`fetch_batch`](ShardedBufferPool::fetch_batch) runs its per-shard
+//!   sub-plans in ascending shard order, locking each shard *only
+//!   while its own sub-plan executes* — at most one shard lock is held
+//!   at any moment, so a thread serving shard 0's disk reads never
+//!   idles holding shard 3's lock (the convoy the previous
+//!   all-guards-up-front protocol created), and deadlock is impossible
+//!   by construction.
 //!
 //! ## Semantics
 //!
-//! * **`P = 1` is the reference pool.** A one-shard pool takes the
-//!   same locks and runs the same [`BufferManager`] code as the
-//!   single-mutex pool; its event log, metrics and store traffic are
-//!   identical fetch for fetch (a property test pins this for all
-//!   seven policies, with and without fault injection).
+//! * **`P = 1` is the reference pool.** A one-shard pool runs the same
+//!   [`BufferManager`] code as the single-mutex pool; its event log,
+//!   metrics and store traffic are identical fetch for fetch after a
+//!   [`quiesce`] (a property test pins this for all seven policies,
+//!   with and without fault injection).
 //! * **Striped replacement (deliberate deviation).** Each shard evicts
 //!   its own local minimum, so a query-aware policy such as RAP keeps
 //!   a *striped* value index rather than the paper's single global
@@ -25,35 +53,40 @@
 //!   has a colder page to give up. [`begin_query`] announcements fan
 //!   out to every shard, so within a shard the ordering is exactly the
 //!   paper's. DESIGN.md §10 discusses the approximation.
-//! * **Batches lock only the shards they touch.** A
-//!   [`fetch_batch`](ShardedBufferPool::fetch_batch) partitions the
-//!   plan by shard and acquires the touched shards' locks in ascending
-//!   shard order — a total order, so concurrent batches cannot
-//!   deadlock. Within each shard the sub-plan preserves plan order and
-//!   PR 4's semantics (duplicate = one load + one hit, an error aborts
-//!   that shard's tail keeping its prefix); *across* shards the
-//!   sub-plans execute in shard order, another documented deviation
-//!   from strict plan order.
+//! * **Per-shard plan order.** Within each shard the sub-plan preserves
+//!   plan order and the batch semantics of PR 4 (a duplicate costs one
+//!   load plus one hit; an error aborts that shard's tail keeping its
+//!   prefix, and every not-yet-executed shard); *across* shards the
+//!   sub-plans execute in shard order, a documented deviation from
+//!   strict plan order.
 //!
 //! [`begin_query`]: ShardedBufferPool::begin_query
+//! [`quiesce`]: ShardedBufferPool::quiesce
+//! [`with_chunk_pages`]: ShardedBufferPool::with_chunk_pages
 
-use crate::buffer::{BufferManager, FetchOutcome, FetchPolicy};
+use crate::buffer::{BufferManager, FetchOutcome, FetchPolicy, FrameView, TermView};
 use crate::disk::PageStore;
 use crate::page::Page;
 use crate::policy::PolicyKind;
 use crate::shared::QueryBuffer;
-use crate::stats::BufferStats;
+use crate::stats::{BufferMetrics, BufferStats};
 use ir_observe::{Counter, Histogram, MetricsSnapshot, Registry};
 use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
-/// Bucket bounds (µs) for the shard-lock wait-time histogram: short
-/// waits round to 0–1 µs, so the low buckets resolve contention onset
-/// and the tail catches convoys.
-pub const LOCK_WAIT_US_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 2048];
+/// Bucket bounds (ns) for the shard-lock wait-time histogram. Waits
+/// used to be recorded in truncated microseconds, which zeroed every
+/// sub-µs wait — the overwhelming majority under parking_lot — and
+/// made the histogram's mass vanish exactly when contention was
+/// sharpest. Nanosecond resolution keeps the sub-µs onset visible; the
+/// tail buckets still catch convoys.
+pub const LOCK_WAIT_NS_BOUNDS: [u64; 10] = [
+    250, 500, 1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000, 16_000_000,
+];
 
 /// Contention counters of a [`ShardedBufferPool`] — pool-level, next
 /// to (not mixed into) the per-shard [`BufferMetrics`], so a one-shard
@@ -65,10 +98,11 @@ pub const LOCK_WAIT_US_BOUNDS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 512, 20
 pub struct ShardMetrics {
     registry: Registry,
     /// Time spent blocked acquiring shard locks, one observation per
-    /// *contended* acquisition (µs) — the uncontended fast path
+    /// *contended* acquisition (ns; saturated to ≥ 1 so a recorded
+    /// wait is never mistaken for no wait) — the uncontended fast path
     /// records nothing, so hot loops pay no histogram write. The sum
-    /// is the pool's total lock-wait.
-    pub lock_wait_us: Histogram,
+    /// is the pool's total lock-wait in nanoseconds.
+    pub lock_wait_ns: Histogram,
     /// Acquisitions that found the shard lock already held and had to
     /// wait (the fast `try_lock` failed).
     pub contended_locks: Counter,
@@ -94,7 +128,7 @@ impl ShardMetrics {
     pub fn in_registry(registry: &Registry) -> Self {
         ShardMetrics {
             registry: registry.clone(),
-            lock_wait_us: registry.histogram("sharded.lock_wait_us", &LOCK_WAIT_US_BOUNDS),
+            lock_wait_ns: registry.histogram("sharded.lock_wait_ns", &LOCK_WAIT_NS_BOUNDS),
             contended_locks: registry.counter("sharded.contended_locks"),
             batch_splits: registry.counter("sharded.batch_splits"),
         }
@@ -106,13 +140,63 @@ impl ShardMetrics {
     }
 }
 
+/// One shard: a [`BufferManager`] behind its mutex, plus the handles
+/// the lock-light hit path uses without that mutex — a shared view of
+/// the shard's resident-frame table, clones of the shard's atomic
+/// counter handles, and the queue of hits whose policy/observer
+/// effects are still owed.
+#[derive(Debug)]
+struct Shard<S: PageStore> {
+    manager: Mutex<BufferManager<Arc<S>>>,
+    /// The manager's resident-frame table, readable without the mutex.
+    frames: FrameView,
+    /// The manager's `b_t` counters, readable without the mutex (they
+    /// change only on load/evict, which hold the mutex anyway).
+    terms: TermView,
+    /// Clones of the manager's `buffer.*` counter handles (atomic), so
+    /// a lock-light hit counts exactly like a locked one.
+    metrics: BufferMetrics,
+    /// Hits served lock-light, in serve order, awaiting their deferred
+    /// replacement-policy and observer effects.
+    pending_hits: Mutex<Vec<PageId>>,
+    /// `true` whenever `pending_hits` may be non-empty — lets the
+    /// exclusive path skip the queue mutex when there is nothing owed.
+    has_pending: AtomicBool,
+}
+
+impl<S: PageStore> Shard<S> {
+    fn new(manager: BufferManager<Arc<S>>) -> Self {
+        Shard {
+            frames: manager.frame_view(),
+            terms: manager.term_view(),
+            metrics: manager.metrics().clone(),
+            manager: Mutex::new(manager),
+            pending_hits: Mutex::new(Vec::new()),
+            has_pending: AtomicBool::new(false),
+        }
+    }
+
+    /// Queues the deferred effects of a lock-light hit.
+    fn defer_hit(&self, id: PageId) {
+        self.pending_hits.lock().push(id);
+        self.has_pending.store(true, Ordering::Release);
+    }
+}
+
 /// A buffer pool of `total_frames` frames striped across `P` shards by
-/// page-id hash, each shard an independent [`BufferManager`] behind its
-/// own mutex. Cloning yields another handle to the same pool, so N
+/// term-chunk hash, each shard an independent [`BufferManager`] behind
+/// its own mutex. Cloning yields another handle to the same pool, so N
 /// session threads each hold a clone.
 #[derive(Debug)]
 pub struct ShardedBufferPool<S: PageStore> {
-    shards: Arc<[Mutex<BufferManager<Arc<S>>>]>,
+    shards: Arc<[Shard<S>]>,
+    /// Pages per routing chunk: `(term, page / chunk_pages)` picks the
+    /// shard, so a list prefix of up to this many pages is owned by
+    /// one shard.
+    chunk_pages: u32,
+    /// Whether the shards' policy reacts to `begin_query` (RAP). When
+    /// `false`, query announcements skip all `P` shard locks.
+    uses_query_context: bool,
     metrics: ShardMetrics,
 }
 
@@ -120,6 +204,8 @@ impl<S: PageStore> Clone for ShardedBufferPool<S> {
     fn clone(&self) -> Self {
         ShardedBufferPool {
             shards: Arc::clone(&self.shards),
+            chunk_pages: self.chunk_pages,
+            uses_query_context: self.uses_query_context,
             metrics: self.metrics.clone(),
         }
     }
@@ -141,6 +227,11 @@ impl<S: PageStore> ShardedBufferPool<S> {
     /// most one: shard `i` gets `total/P`, plus one of the `total % P`
     /// leftovers for `i < total % P`.
     ///
+    /// The routing chunk defaults to half a shard's frame quota
+    /// (`max(1, total/P/2)`): a list scan no longer than that locks
+    /// exactly one shard, while any single chunk still fits its
+    /// shard's frames with headroom.
+    ///
     /// # Errors
     /// [`IrError::EmptyBufferPool`] when `total_frames` is zero;
     /// [`IrError::InvalidConfig`] when `shards` is zero or exceeds
@@ -150,6 +241,25 @@ impl<S: PageStore> ShardedBufferPool<S> {
         total_frames: usize,
         policy: PolicyKind,
         shards: usize,
+    ) -> IrResult<Self> {
+        let chunk_pages = (total_frames / shards.max(1) / 2).max(1) as u32;
+        ShardedBufferPool::with_chunk_pages(store, total_frames, policy, shards, chunk_pages)
+    }
+
+    /// [`new`](Self::new) with an explicit routing-chunk size.
+    /// `chunk_pages = 1` reproduces the original per-page scatter
+    /// (every page hashed independently); larger chunks keep longer
+    /// list prefixes on one shard. Exposed for tests and tuning.
+    ///
+    /// # Errors
+    /// As [`new`](Self::new), plus [`IrError::InvalidConfig`] when
+    /// `chunk_pages` is zero.
+    pub fn with_chunk_pages(
+        store: Arc<S>,
+        total_frames: usize,
+        policy: PolicyKind,
+        shards: usize,
+        chunk_pages: u32,
     ) -> IrResult<Self> {
         if total_frames == 0 {
             return Err(IrError::EmptyBufferPool);
@@ -164,41 +274,99 @@ impl<S: PageStore> ShardedBufferPool<S> {
                 "{shards} shards over {total_frames} frames: every shard needs at least one frame"
             )));
         }
+        if chunk_pages == 0 {
+            return Err(IrError::InvalidConfig(
+                "sharded pool needs a non-zero routing chunk".into(),
+            ));
+        }
         let base = total_frames / shards;
         let extra = total_frames % shards;
+        let mut uses_query_context = false;
         let pools = (0..shards)
             .map(|i| {
                 let capacity = base + usize::from(i < extra);
-                BufferManager::new(Arc::clone(&store), capacity, policy).map(Mutex::new)
+                BufferManager::new(Arc::clone(&store), capacity, policy).map(|manager| {
+                    uses_query_context = manager.uses_query_context();
+                    Shard::new(manager)
+                })
             })
             .collect::<IrResult<Vec<_>>>()?;
         Ok(ShardedBufferPool {
             shards: pools.into(),
+            chunk_pages,
+            uses_query_context,
             metrics: ShardMetrics::new(),
         })
     }
 
-    /// The shard `id` hashes to.
+    /// The shard `id` routes to: `(term, page / chunk_pages)` hashed
+    /// with splitmix64. A whole chunk of a list shares one shard, so a
+    /// prefix scan of at most [`chunk_pages`](Self::chunk_pages) pages
+    /// — `ReadPlan::for_term_pages` always plans a prefix — touches
+    /// exactly one shard.
     #[inline]
     pub fn shard_of(&self, id: PageId) -> usize {
-        let key = (u64::from(id.term.0) << 32) | u64::from(id.page.0);
-        (splitmix64(key) % self.shards.len() as u64) as usize
+        (splitmix64(self.chunk_key(id)) % self.shards.len() as u64) as usize
     }
 
-    /// Locks shard `s`. The uncontended fast path is a bare
-    /// `try_lock`; only a failed attempt pays for the clock reads and
-    /// the contention counters.
+    /// The routing key `(term, page / chunk_pages)` packed into a
+    /// `u64`. Equal keys always route to the same shard, which lets
+    /// hot loops skip the hash while consecutive plan entries stay in
+    /// one chunk.
+    #[inline]
+    fn chunk_key(&self, id: PageId) -> u64 {
+        (u64::from(id.term.0) << 32) | u64::from(id.page.0 / self.chunk_pages)
+    }
+
+    /// Pages per routing chunk.
+    #[inline]
+    pub fn chunk_pages(&self) -> u32 {
+        self.chunk_pages
+    }
+
+    /// Locks shard `s` exclusively, first replaying any deferred hit
+    /// effects so the manager's policy and observer state are current
+    /// before the caller mutates anything. The uncontended fast path
+    /// is a bare `try_lock`; only a failed attempt pays for the clock
+    /// reads and the contention counters.
     fn lock(&self, s: usize) -> MutexGuard<'_, BufferManager<Arc<S>>> {
-        if let Some(guard) = self.shards[s].try_lock() {
-            return guard;
+        let shard = &self.shards[s];
+        let mut guard = match shard.manager.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.metrics.contended_locks.inc();
+                let started = Instant::now();
+                let guard = shard.manager.lock();
+                self.metrics
+                    .lock_wait_ns
+                    .record((started.elapsed().as_nanos() as u64).max(1));
+                guard
+            }
+        };
+        if shard.has_pending.swap(false, Ordering::AcqRel) {
+            let mut drained = std::mem::take(&mut *shard.pending_hits.lock());
+            for id in drained.drain(..) {
+                guard.apply_deferred_hit(id);
+            }
+            // Hand the queue its allocation back unless a concurrent
+            // hit already started a new one.
+            let mut pending = shard.pending_hits.lock();
+            if pending.is_empty() && pending.capacity() < drained.capacity() {
+                *pending = drained;
+            }
         }
-        self.metrics.contended_locks.inc();
-        let started = Instant::now();
-        let guard = self.shards[s].lock();
-        self.metrics
-            .lock_wait_us
-            .record(started.elapsed().as_micros() as u64);
         guard
+    }
+
+    /// Replays every shard's deferred hit effects (policy updates,
+    /// observer events) by taking and releasing each shard's mutex
+    /// once. Counters and statistics never need this — they are eager
+    /// — but comparing event logs or policy state against an unsharded
+    /// reference requires a quiesced pool.
+    pub fn quiesce(&self) {
+        for s in 0..self.shards.len() {
+            drop(self.lock(s));
+        }
     }
 
     /// Fetches a page through its shard, counting a hit or a disk read
@@ -208,23 +376,124 @@ impl<S: PageStore> ShardedBufferPool<S> {
     }
 
     /// [`fetch`](Self::fetch), also reporting how the request was
-    /// served. Only the owning shard is locked.
+    /// served. A hit is served under the owning shard's frame-table
+    /// read lock — no mutex; only a miss locks the shard exclusively.
     pub fn fetch_traced(&self, id: PageId) -> IrResult<(Page, FetchOutcome)> {
-        self.lock(self.shard_of(id)).fetch_traced(id)
+        let s = self.shard_of(id);
+        let shard = &self.shards[s];
+        let resident = shard.frames.read().get(&id).cloned();
+        if let Some(page) = resident {
+            shard.metrics.requests.inc();
+            shard.metrics.hits.inc();
+            shard.defer_hit(id);
+            return Ok((page, FetchOutcome::Hit));
+        }
+        self.lock(s).fetch_traced(id)
+    }
+
+    /// Serves the longest resident *prefix* of a one-shard sub-plan
+    /// from the shard's frame table under its read lock — no mutex —
+    /// appending the hits to `out` in plan order, and returns how many
+    /// entries were served. The prefix is exactly the hits the
+    /// exclusive path would have served before its first miss, so a
+    /// caller that hands the remainder to
+    /// [`BufferManager::fetch_batch_tail`] reproduces the locked
+    /// path's accounting event for event. Counters bump eagerly (one
+    /// atomic add per counter for the whole prefix — per-entry
+    /// increments showed up as real per-hit overhead); policy/observer
+    /// effects are queued for replay at the next exclusive
+    /// acquisition. A fully-resident plan also records its batch
+    /// metrics here, since the exclusive path never runs.
+    fn serve_resident_prefix(
+        &self,
+        s: usize,
+        entries: &[PlanEntry],
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> usize {
+        let shard = &self.shards[s];
+        let start = out.len();
+        {
+            let frames = shard.frames.read();
+            for entry in entries {
+                match frames.get(&entry.page) {
+                    Some(page) => out.push((page.clone(), FetchOutcome::Hit)),
+                    None => break,
+                }
+            }
+        }
+        let served = out.len() - start;
+        if served > 0 {
+            shard.metrics.requests.add(served as u64);
+            shard.metrics.hits.add(served as u64);
+            shard
+                .pending_hits
+                .lock()
+                .extend(entries[..served].iter().map(|e| e.page));
+            shard.has_pending.store(true, Ordering::Release);
+        }
+        if served == entries.len() {
+            shard.metrics.batches.inc();
+            shard.metrics.batch_pages.record(entries.len() as u64);
+        }
+        served
     }
 
     /// Executes a [`ReadPlan`], locking only the shards the plan's
-    /// pages hash to — in ascending shard order, so concurrent batches
-    /// cannot deadlock. Each shard serves its sub-plan (the plan's
-    /// entries that hash to it, in plan order) through
-    /// [`BufferManager::fetch_batch`], keeping the duplicate/one-load
-    /// and vectored-read semantics per shard; outcomes are reassembled
-    /// into plan order. An error aborts the failing shard's tail and
-    /// every not-yet-executed shard; completed shards keep their
-    /// effects.
+    /// pages route to — one at a time, in ascending shard order. Each
+    /// shard serves its sub-plan (the plan's entries that route to it,
+    /// in plan order) through [`BufferManager::fetch_batch`], keeping
+    /// the duplicate/one-load and vectored-read semantics per shard;
+    /// outcomes are reassembled into plan order. Each sub-plan's
+    /// resident prefix is served lock-light under the shard's read
+    /// lock; only the remainder (first miss onward) takes the shard
+    /// mutex. An error aborts the failing shard's tail and every
+    /// not-yet-executed shard; completed shards keep their effects.
     pub fn fetch_batch(&self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
-        if self.shards.len() == 1 {
-            return self.lock(0).fetch_batch(plan);
+        let mut out = Vec::with_capacity(plan.len());
+        self.fetch_batch_into(plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`fetch_batch`](Self::fetch_batch) writing into a caller-owned
+    /// buffer (cleared first); on error `out` holds the entries served
+    /// before the failure.
+    pub fn fetch_batch_into(
+        &self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        out.clear();
+        // Single-shard plans — every entry routed to one shard, the
+        // common case under term-chunk routing and always true for
+        // `P = 1` — skip grouping and scatter entirely.
+        let single = match plan.entries().first() {
+            Some(first) => {
+                let s = self.shard_of(first.page);
+                // Consecutive entries usually share a routing chunk
+                // (plans are per-term page prefixes), so only re-hash
+                // when the chunk key changes.
+                let mut key = self.chunk_key(first.page);
+                plan.iter()
+                    .all(|e| {
+                        let k = self.chunk_key(e.page);
+                        k == key || {
+                            key = k;
+                            self.shard_of(e.page) == s
+                        }
+                    })
+                    .then_some(s)
+            }
+            // An empty plan still counts one (empty) batch on the
+            // reference pool; route it to shard 0 so `P = 1` stays
+            // identical to an unsharded manager.
+            None => (self.shards.len() == 1).then_some(0),
+        };
+        if let Some(s) = single {
+            let served = self.serve_resident_prefix(s, plan.entries(), out);
+            if served == plan.len() {
+                return Ok(());
+            }
+            return self.lock(s).fetch_batch_tail(plan, served, out);
         }
         let mut groups: Vec<Vec<(usize, PlanEntry)>> = vec![Vec::new(); self.shards.len()];
         for (i, entry) in plan.iter().enumerate() {
@@ -236,36 +505,73 @@ impl<S: PageStore> ShardedBufferPool<S> {
         if touched.len() > 1 {
             self.metrics.batch_splits.inc();
         }
-        // Ascending shard order by construction of `touched`: the lock
-        // acquisition order is total across all threads.
-        let mut guards: Vec<(usize, MutexGuard<'_, BufferManager<Arc<S>>>)> =
-            touched.into_iter().map(|s| (s, self.lock(s))).collect();
-        let mut out: Vec<Option<(Page, FetchOutcome)>> = vec![None; plan.len()];
-        for (s, guard) in guards.iter_mut() {
-            let sub: ReadPlan = groups[*s].iter().map(|(_, e)| *e).collect();
-            let served = guard.fetch_batch(&sub)?;
-            for ((plan_idx, _), result) in groups[*s].iter().zip(served) {
-                out[*plan_idx] = Some(result);
+        let mut slots: Vec<Option<(Page, FetchOutcome)>> = vec![None; plan.len()];
+        // Execute-and-release in ascending shard order: each shard's
+        // guard is dropped before the next shard is locked, so at most
+        // one shard lock is held at any moment — a thread stuck in
+        // shard k's disk reads cannot convoy traffic on later shards,
+        // and holding one lock can never deadlock.
+        for s in touched {
+            let group = &groups[s];
+            let sub: Vec<PlanEntry> = group.iter().map(|(_, e)| *e).collect();
+            let mut served = Vec::with_capacity(sub.len());
+            let k = self.serve_resident_prefix(s, &sub, &mut served);
+            if k < sub.len() {
+                let sub_plan: ReadPlan = sub.into_iter().collect();
+                self.lock(s).fetch_batch_tail(&sub_plan, k, &mut served)?;
+            }
+            for ((plan_idx, _), result) in group.iter().zip(served) {
+                slots[*plan_idx] = Some(result);
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every plan entry belongs to exactly one locked shard"))
-            .collect())
+        out.reserve(slots.len());
+        for slot in slots {
+            out.push(slot.expect("every plan entry belongs to exactly one shard"));
+        }
+        Ok(())
     }
 
-    /// `b_t` across the whole pool: `term`'s pages are spread over the
-    /// shards, so every shard is consulted (locked one at a time).
+    /// `b_t` across the whole pool: a term's chunks may hash to
+    /// several shards, so every shard's counter table is consulted —
+    /// under its read lock only, never the shard mutex, so a `b_t`
+    /// inquiry never queues behind a shard serving disk reads. The
+    /// counters change only on load/evict (which hold the mutex), so
+    /// the values match what a locked read would return. For many
+    /// terms prefer [`resident_pages_many`](Self::resident_pages_many),
+    /// which takes one pass over the shards instead of one per term.
     pub fn resident_pages(&self, term: TermId) -> u32 {
-        (0..self.shards.len())
-            .map(|s| self.lock(s).resident_pages(term))
+        self.shards
+            .iter()
+            .map(|shard| shard.terms.read().get(&term).copied().unwrap_or(0))
             .sum()
+    }
+
+    /// `b_t` for every term in `terms`, in order, taking each shard's
+    /// counter read lock exactly once — `P` read-lock acquisitions
+    /// total instead of the `terms.len() × P` a per-term loop costs,
+    /// and no shard mutex at all. The BAF term selector inquires every
+    /// live candidate's `b_t` each round; this is its batched path.
+    pub fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
+        let mut totals = vec![0u32; terms.len()];
+        for shard in self.shards.iter() {
+            let counters = shard.terms.read();
+            for (slot, term) in totals.iter_mut().zip(terms) {
+                *slot += counters.get(term).copied().unwrap_or(0);
+            }
+        }
+        totals
     }
 
     /// Announces the query's term weights to **every** shard, so each
     /// shard's policy re-values its own residents — the striped
-    /// equivalent of the paper's global RAP re-valuation.
+    /// equivalent of the paper's global RAP re-valuation. For policies
+    /// that ignore query context (everything but RAP) the announcement
+    /// is a no-op per shard, so it is skipped without taking a single
+    /// lock.
     pub fn begin_query(&self, weights: &HashMap<TermId, f64>) {
+        if !self.uses_query_context {
+            return;
+        }
         for s in 0..self.shards.len() {
             self.lock(s).begin_query(weights);
         }
@@ -423,8 +729,20 @@ impl<S: PageStore> QueryBuffer for ShardedBufferPool<S> {
         ShardedBufferPool::fetch_batch(self, plan)
     }
 
+    fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        ShardedBufferPool::fetch_batch_into(self, plan, out)
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         ShardedBufferPool::resident_pages(self, term)
+    }
+
+    fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
+        ShardedBufferPool::resident_pages_many(self, terms)
     }
 
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {
@@ -555,8 +873,11 @@ mod tests {
 
     #[test]
     fn cross_shard_batch_reassembles_plan_order() {
-        // Headroom per shard: no eviction regardless of hash skew.
-        let pool = ShardedBufferPool::new(store(2, 8), 32, PolicyKind::Lru, 4).unwrap();
+        // chunk_pages = 1 pins the original per-page scatter, so this
+        // plan deterministically spans several shards (headroom per
+        // shard: no eviction regardless of hash skew).
+        let pool =
+            ShardedBufferPool::with_chunk_pages(store(2, 8), 32, PolicyKind::Lru, 4, 1).unwrap();
         let mut plan = ReadPlan::new();
         for p in 0..8 {
             plan.push(PlanEntry::new(pid(0, p)));
@@ -676,12 +997,137 @@ mod tests {
         assert_eq!(dump.counter("buffer.requests"), Some(24));
         assert_eq!(dump.counter("buffer.loads"), Some(16));
         assert_eq!(dump.counter("buffer.hits"), Some(8));
-        assert_eq!(dump.counter("sharded.batch_splits"), Some(1));
+        // Term-chunk routing: the 8-page prefix of term 0 fits one
+        // chunk (64 frames / 4 shards / 2 = 8 pages), so the batch no
+        // longer splits at all.
+        assert_eq!(dump.counter("sharded.batch_splits"), Some(0));
         assert!(
             dump.histograms
                 .iter()
-                .any(|h| h.name == "sharded.lock_wait_us"),
+                .any(|h| h.name == "sharded.lock_wait_ns"),
             "contention histogram must be part of the rollup"
+        );
+    }
+
+    #[test]
+    fn term_routed_scan_locks_one_shard() {
+        // 64 frames / 4 shards → chunk_pages = 8: a whole-list prefix
+        // scan of any term routes to exactly one shard, cold or warm.
+        let pool = ShardedBufferPool::new(store(4, 8), 64, PolicyKind::Lru, 4).unwrap();
+        assert_eq!(pool.chunk_pages(), 8);
+        for t in 0..4 {
+            let plan = ReadPlan::for_term_pages(TermId(t), 8, None);
+            let owner = pool.shard_of(pid(t, 0));
+            assert!(
+                plan.iter().all(|e| pool.shard_of(e.page) == owner),
+                "a one-chunk prefix must have a single owner shard"
+            );
+            pool.fetch_batch(&plan).unwrap(); // cold: one exclusive section
+            pool.fetch_batch(&plan).unwrap(); // warm: lock-light hits
+        }
+        assert_eq!(
+            pool.metrics().batch_splits.get(),
+            0,
+            "term-routed single-list scans must never split"
+        );
+        let s = pool.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (64, 32, 32));
+    }
+
+    #[test]
+    fn long_list_subdivides_at_chunk_granularity() {
+        // chunk_pages = 2 over a 8-page list: chunks {0,1},{2,3},{4,5},
+        // {6,7} may land on different shards, and the plan reassembles
+        // in plan order with one split at most.
+        let pool =
+            ShardedBufferPool::with_chunk_pages(store(1, 8), 32, PolicyKind::Lru, 4, 2).unwrap();
+        for p in 0..8 {
+            assert_eq!(
+                pool.shard_of(pid(0, p)),
+                pool.shard_of(pid(0, (p / 2) * 2)),
+                "pages of one chunk share a shard"
+            );
+        }
+        let plan = ReadPlan::for_term_pages(TermId(0), 8, None);
+        let out = pool.fetch_batch(&plan).unwrap();
+        for (i, (page, outcome)) in out.iter().enumerate() {
+            assert_eq!(page.id(), pid(0, i as u32), "plan order preserved");
+            assert_eq!(*outcome, FetchOutcome::Miss);
+        }
+        let distinct: std::collections::HashSet<usize> =
+            (0..8).map(|p| pool.shard_of(pid(0, p))).collect();
+        let expected_splits = u64::from(distinct.len() > 1);
+        assert_eq!(pool.metrics().batch_splits.get(), expected_splits);
+    }
+
+    #[test]
+    fn lock_light_hits_count_eagerly_and_replay_on_quiesce() {
+        use crate::observe::BufferEvent;
+        #[derive(Clone, Default, Debug)]
+        struct SharedLog(Arc<std::sync::Mutex<Vec<BufferEvent>>>);
+        impl crate::observe::BufferObserver for SharedLog {
+            fn event(&mut self, event: BufferEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+        let pool = ShardedBufferPool::new(store(1, 4), 8, PolicyKind::Lru, 1).unwrap();
+        let log = SharedLog::default();
+        pool.with_shard(0, |bm| bm.set_observer(Box::new(log.clone())));
+        pool.fetch(pid(0, 0)).unwrap(); // miss: exclusive path
+        pool.fetch(pid(0, 0)).unwrap(); // hit: lock-light, deferred
+        let s = pool.stats();
+        assert_eq!((s.requests, s.hits, s.misses), (2, 1, 1), "counters eager");
+        pool.quiesce();
+        let events = log.0.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![BufferEvent::Load(pid(0, 0)), BufferEvent::Hit(pid(0, 0))],
+            "deferred hit replays through the observer in serve order"
+        );
+    }
+
+    #[test]
+    fn resident_pages_many_matches_per_term_loop() {
+        let pool = ShardedBufferPool::new(store(4, 8), 64, PolicyKind::Lru, 4).unwrap();
+        for t in 0..3 {
+            for p in 0..(t + 2).min(8) {
+                pool.fetch(pid(t, p)).unwrap();
+            }
+        }
+        let terms: Vec<TermId> = (0..4).map(TermId).collect();
+        let batched = pool.resident_pages_many(&terms);
+        let looped: Vec<u32> = terms.iter().map(|t| pool.resident_pages(*t)).collect();
+        assert_eq!(batched, looped);
+        assert_eq!(batched, vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn contended_lock_wait_records_nanoseconds() {
+        let pool = ShardedBufferPool::new(store(1, 4), 8, PolicyKind::Lru, 1).unwrap();
+        pool.fetch(pid(0, 0)).unwrap();
+        let barrier = std::sync::Barrier::new(2);
+        crossbeam::thread::scope(|scope| {
+            let holder = pool.clone();
+            let barrier = &barrier;
+            scope.spawn(move |_| {
+                holder.with_shard(0, |_| {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                });
+            });
+            barrier.wait();
+            // The shard mutex is held: this miss must wait, and the
+            // wait lands in the ns histogram (≥ 1, never truncated to
+            // zero the way microsecond truncation did).
+            pool.fetch(pid(0, 1)).unwrap();
+        })
+        .unwrap();
+        assert!(pool.metrics().contended_locks.get() >= 1);
+        let h = &pool.metrics().lock_wait_ns;
+        assert!(h.count() >= 1);
+        assert!(
+            h.sum() >= h.count(),
+            "every contended wait records at least one nanosecond"
         );
     }
 }

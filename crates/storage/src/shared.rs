@@ -49,18 +49,43 @@ pub trait QueryBuffer {
     /// Executes a [`ReadPlan`], serving every entry in plan order and
     /// reporting each entry's outcome. Shared implementations take
     /// their lock **once for the whole batch**, so a plan is a single
-    /// critical section rather than one per page. The default serves
-    /// the plan entry-by-entry through
-    /// [`fetch_traced`](Self::fetch_traced) (hints are dropped) —
-    /// correct for any implementation, batched for none.
-    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
-        plan.iter()
-            .map(|entry| self.fetch_traced(entry.page))
-            .collect()
+    /// critical section rather than one per page.
+    ///
+    /// Deliberately **no default**: an earlier default degraded to
+    /// per-entry [`fetch_traced`](Self::fetch_traced), silently losing
+    /// vectored reads, value hints, and batch accounting for any
+    /// implementor that forgot to override it. A missing
+    /// implementation is now a compile error.
+    fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>>;
+
+    /// [`fetch_batch`](Self::fetch_batch) writing into a caller-owned
+    /// buffer (cleared first), so a per-query scan loop can reuse one
+    /// scratch vector instead of allocating a fresh result per term.
+    /// The default allocates through [`fetch_batch`](Self::fetch_batch)
+    /// and moves the results over; pool implementations override it
+    /// with a genuinely allocation-free forward.
+    fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        let served = self.fetch_batch(plan)?;
+        out.clear();
+        out.extend(served);
+        Ok(())
     }
 
     /// `b_t`: resident page count of `term`'s inverted list.
     fn resident_pages(&self, term: TermId) -> u32;
+
+    /// `b_t` for every term in `terms`, in order. The default loops
+    /// over [`resident_pages`](Self::resident_pages); pools whose
+    /// per-term inquiry takes locks override this with a single-pass
+    /// batch (the sharded pool locks each shard once instead of once
+    /// per term).
+    fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
+        terms.iter().map(|t| self.resident_pages(*t)).collect()
+    }
 
     /// Announces the term weights `w_{q,t}` of the query about to run.
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>);
@@ -87,6 +112,14 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
 
     fn fetch_batch(&mut self, plan: &ReadPlan) -> IrResult<Vec<(Page, FetchOutcome)>> {
         BufferManager::fetch_batch(self, plan)
+    }
+
+    fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        BufferManager::fetch_batch_into(self, plan, out)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -161,8 +194,22 @@ impl<T: QueryBuffer> QueryBuffer for Shared<T> {
         self.inner.lock().fetch_batch(plan)
     }
 
+    fn fetch_batch_into(
+        &mut self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        self.inner.lock().fetch_batch_into(plan, out)
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         self.inner.lock().resident_pages(term)
+    }
+
+    fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
+        // One lock acquisition for the whole inquiry batch.
+        let guard = self.inner.lock();
+        terms.iter().map(|t| guard.resident_pages(*t)).collect()
     }
 
     fn begin_query(&mut self, weights: &HashMap<TermId, f64>) {

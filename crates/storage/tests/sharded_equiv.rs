@@ -112,6 +112,10 @@ fn assert_one_shard_matches_manager<S: PageStore>(
         }
     }
 
+    // The lock-light hit path defers policy touches and Hit events;
+    // replay them in serve order before comparing against the
+    // reference, exactly as any exclusive operation would.
+    pool.quiesce();
     assert_eq!(
         *pool_log.0.lock().unwrap(),
         *ref_log.0.lock().unwrap(),
@@ -199,6 +203,78 @@ proptest! {
                 assert_one_shard_matches_manager(pool, reference, &ops, kind);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The lock-light hit path under real contention: eight threads
+    /// hammer overlapping single-term plans against a pool whose warmed
+    /// working set never evicts, so every post-warm request is served
+    /// off the shared read lock with only atomic counter updates. The
+    /// eager counters must still be exact — per-shard `hits + loads ==
+    /// requests`, the global totals match the workload arithmetic (no
+    /// lost updates), and every resident page lives in the shard the
+    /// hash owns.
+    #[test]
+    fn lock_light_hit_path_loses_no_counters(
+        seed in proptest::any::<u64>(),
+        ops_per_thread in 16u64..64,
+    ) {
+        let pool = Arc::new(
+            ShardedBufferPool::new(Arc::new(store()), 128, PolicyKind::Lru, 4).unwrap(),
+        );
+        // Warm the full working set: 32 requests, all loads.
+        for t in 0..N_TERMS {
+            for p in 0..PAGES_PER_TERM {
+                pool.fetch(PageId::new(TermId(t), p)).unwrap();
+            }
+        }
+        let warmed = u64::from(N_TERMS * PAGES_PER_TERM);
+        let n_threads = 8u64;
+        crossbeam::thread::scope(|scope| {
+            for th in 0..n_threads {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move |_| {
+                    let mut rng = seed ^ (th << 11) ^ 0x5bd1_e995;
+                    for _ in 0..ops_per_thread {
+                        // Overlapping term plans: every thread scans
+                        // the same four lists in thread-local order.
+                        let t = (next_rand(&mut rng) % u64::from(N_TERMS)) as u32;
+                        let plan: ReadPlan = (0..PAGES_PER_TERM)
+                            .map(|p| PlanEntry::new(PageId::new(TermId(t), p)))
+                            .collect();
+                        pool.fetch_batch(&plan).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+
+        let expected = warmed + n_threads * ops_per_thread * u64::from(PAGES_PER_TERM);
+        let mut per_shard = 0;
+        for s in 0..pool.n_shards() {
+            let st = pool.shard_stats(s);
+            assert_eq!(st.hits + st.misses, st.requests, "shard {s} split");
+            per_shard += st.requests;
+        }
+        assert_eq!(per_shard, expected, "lost or duplicated requests");
+        let stats = pool.stats();
+        assert_eq!(stats.requests, expected);
+        assert_eq!(stats.misses, warmed, "post-warm traffic must all hit");
+        assert_eq!(stats.hits, expected - warmed);
+        // Replaying deferred hit effects moves policy state only —
+        // never a counter.
+        pool.quiesce();
+        assert_eq!(pool.stats().requests, expected);
+        // Hash-owned residency survives the hammering.
+        for s in 0..pool.n_shards() {
+            for id in pool.with_shard(s, |bm| bm.resident_ids()) {
+                assert_eq!(pool.shard_of(id), s, "page {id:?} in wrong shard");
+            }
+        }
+        assert_eq!(pool.len(), warmed as usize, "nothing may evict");
     }
 }
 
