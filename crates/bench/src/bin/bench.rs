@@ -12,6 +12,9 @@
 //!
 //! # Sweep concurrent sessions over single-mutex vs. sharded pools:
 //! cargo run --release -p ir-bench --bin bench -- throughput --out BENCH_throughput.json
+//!
+//! # Sweep storage backends (simulator vs. page file vs. scheduled I/O):
+//! cargo run --release -p ir-bench --bin bench -- storage --out BENCH_storage.json
 //! ```
 //!
 //! Disk-read counts are deterministic and compared exactly; wall times
@@ -25,7 +28,31 @@ use std::process::ExitCode;
 const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
        bench compare BASELINE CURRENT [--tolerance FRACTION]
        bench chaos [--seed N] [--scale SIGMA]
-       bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE] [--gate-scaling]";
+       bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE] [--gate-scaling]
+       bench storage [--scale SIGMA] [--depths N,N,..] [--seek-us N] [--transfer-us N] [--out FILE]";
+
+/// Writes a schema-versioned JSON artifact to `out` and mirrors it
+/// into `results/` (when `out` is not already there), so both the
+/// checked-in root copy and the results tree stay current from one
+/// invocation.
+fn write_json_mirrored(out: &str, json: &str) -> Result<(), String> {
+    let body = format!("{json}\n");
+    std::fs::write(out, &body).map_err(|e| format!("writing {out}: {e}"))?;
+    let path = std::path::Path::new(out);
+    let in_results = path
+        .parent()
+        .is_some_and(|p| p.file_name().is_some_and(|n| n == "results"));
+    if !in_results {
+        if let Some(name) = path.file_name() {
+            let mirror = std::path::Path::new("results").join(name);
+            if std::fs::create_dir_all("results").is_ok() {
+                std::fs::write(&mirror, &body)
+                    .map_err(|e| format!("writing {}: {e}", mirror.display()))?;
+            }
+        }
+    }
+    Ok(())
+}
 
 fn run_report(args: &[String]) -> Result<(), String> {
     let mut scale = 1.0 / 16.0;
@@ -221,8 +248,7 @@ fn run_throughput(args: &[String]) -> Result<(), String> {
     // stdout carries only the deterministic block (CI diffs two runs);
     // everything timed lives in the JSON artifact.
     print!("{text}");
-    std::fs::write(&out, ir_bench::throughput::to_json(&report) + "\n")
-        .map_err(|e| format!("writing {out}: {e}"))?;
+    write_json_mirrored(&out, &ir_bench::throughput::to_json(&report))?;
     if gate_scaling {
         // Gate text carries wall-clock ratios → stderr only, so the
         // stdout determinism contract survives a gated run.
@@ -243,6 +269,76 @@ fn run_throughput(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_storage(args: &[String]) -> Result<(), String> {
+    let mut scale = 1.0 / 16.0;
+    let mut depths = vec![1usize, 4, 16];
+    let mut seek_us = 200u64;
+    let mut transfer_us = 50u64;
+    let mut out = "BENCH_storage.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or("--scale needs a number in (0, 1]")?;
+            }
+            "--depths" => {
+                i += 1;
+                depths = args
+                    .get(i)
+                    .map(|s| s.split(',').map(|n| n.parse::<usize>()).collect())
+                    .transpose()
+                    .ok()
+                    .flatten()
+                    .filter(|v: &Vec<usize>| !v.is_empty() && v.iter().all(|n| *n > 0))
+                    .ok_or("--depths needs a comma-separated list of positive queue depths")?;
+            }
+            "--seek-us" => {
+                i += 1;
+                seek_us = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seek-us needs an unsigned integer")?;
+            }
+            "--transfer-us" => {
+                i += 1;
+                transfer_us = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--transfer-us needs an unsigned integer")?;
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).ok_or("--out needs a file path")?.clone();
+            }
+            other => return Err(format!("unknown storage flag {other:?}")),
+        }
+        i += 1;
+    }
+    let (text, report) = ir_bench::storage::run(scale, &depths, seek_us, transfer_us)?;
+    // Same contract as `throughput`: deterministic block on stdout
+    // (CI diffs two runs), wall-clock timings only in the JSON.
+    print!("{text}");
+    write_json_mirrored(&out, &ir_bench::storage::to_json(&report))?;
+    // The wall-clock comparison is machine-dependent → stderr only.
+    if let Some(serial) = report.rows.iter().find(|r| r.queue_depth == 1) {
+        for deep in report.rows.iter().filter(|r| r.queue_depth >= 4) {
+            eprintln!(
+                "wall clock: {} {} µs vs qd1 {} µs ({:.0} %)",
+                deep.backend,
+                deep.wall_us,
+                serial.wall_us,
+                deep.wall_us as f64 * 100.0 / serial.wall_us.max(1) as f64
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -250,6 +346,7 @@ fn main() -> ExitCode {
         Some("compare") => run_compare(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("throughput") => run_throughput(&args[1..]),
+        Some("storage") => run_storage(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

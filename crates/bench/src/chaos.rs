@@ -22,10 +22,15 @@
 //! twice and diffs the output to pin determinism.
 
 use crate::setup::{pick_representatives, profile_queries, TestBed};
-use ir_core::{Algorithm, RefinementKind};
+use ir_core::eval::evaluate;
+use ir_core::{Algorithm, Query, RefinementKind};
 use ir_engine::{PoolLayout, Schedule, ServerReport, SessionOutcome, SessionServer, SessionSpec};
-use ir_storage::{FaultConfig, FetchPolicy, PolicyKind};
+use ir_storage::{
+    BufferManager, FaultConfig, FaultStore, FetchPolicy, FileMode, FilePageStore, PageStore,
+    PolicyKind,
+};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Retry budget used for every chaotic run; covers the
 /// `max_consecutive_faults` cap of [`FaultConfig::chaos`] with one
@@ -79,6 +84,42 @@ fn per_session_reads(r: &ServerReport) -> Vec<u64> {
         .iter()
         .map(SessionOutcome::total_disk_reads)
         .collect()
+}
+
+/// Replays every session's sequence, interleaved round-robin, through
+/// one cold pool over `store`, returning per-session disk-read totals.
+/// The file-backend analogue of a [`SessionServer`] run.
+fn drive_sessions<S: PageStore>(
+    bed: &TestBed,
+    specs: &[SessionSpec],
+    store: S,
+    frames: usize,
+    policy: PolicyKind,
+    fetch: FetchPolicy,
+) -> Result<Vec<u64>, String> {
+    let mut buffer = BufferManager::new(store, frames, policy)
+        .map_err(|e| format!("pool construction failed: {e}"))?;
+    buffer.set_fetch_policy(fetch);
+    let mut reads = vec![0u64; specs.len()];
+    let max_steps = specs
+        .iter()
+        .map(|s| s.sequence.steps.len())
+        .max()
+        .unwrap_or(0);
+    for step in 0..max_steps {
+        for (user, spec) in specs.iter().enumerate() {
+            if let Some(terms) = spec.sequence.steps.get(step) {
+                let stats = Query::from_ids(&bed.index, terms)
+                    .and_then(|q| {
+                        evaluate(spec.algorithm, &bed.index, &mut buffer, &q, spec.options)
+                    })
+                    .map_err(|e| format!("user {user} step {step}: {e}"))?
+                    .stats;
+                reads[user] += stats.disk_reads;
+            }
+        }
+    }
+    Ok(reads)
 }
 
 /// Runs the chaos matrix at `scale` with `seed` and returns the
@@ -181,10 +222,68 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
             );
         }
     }
+    // File-backend rows: the same transparency contract must hold when
+    // pages come from the BFPG page file instead of the in-memory
+    // simulator — faults injected above the file store, recovered by
+    // the pool's retry machinery, may not move per-session reads.
+    let path = std::env::temp_dir().join(format!("buffir-chaos-{}.bfpg", std::process::id()));
+    ir_index::save_page_file(&bed.index, &path)
+        .map_err(|e| format!("page-file export failed: {e}"))?;
+    let file_store = FilePageStore::open(&path, FileMode::Buffered)
+        .map(Arc::new)
+        .map_err(|e| format!("opening {}: {e}", path.display()))?;
+    for policy in PolicyKind::ALL {
+        let label = format!("{policy:>8} / file[{total_frames}]");
+        let clean = drive_sessions(
+            &bed,
+            &specs,
+            Arc::clone(&file_store),
+            total_frames,
+            policy,
+            FetchPolicy::NO_RETRY,
+        )
+        .map_err(|e| format!("{label}: fault-free run failed: {e}"))?;
+        let faulty_store = Arc::new(FaultStore::new(
+            Arc::clone(&file_store),
+            FaultConfig::chaos(seed),
+        ));
+        let faulty = drive_sessions(
+            &bed,
+            &specs,
+            Arc::clone(&faulty_store),
+            total_frames,
+            policy,
+            FetchPolicy::retries(RETRY_BUDGET),
+        )
+        .map_err(|e| format!("{label}: chaotic run failed: {e}"))?;
+        file_store.reset_stats();
+
+        if clean != faulty {
+            return Err(format!(
+                "{label}: recovered faults changed per-session reads: \
+                 {clean:?} fault-free vs {faulty:?} chaotic"
+            ));
+        }
+        let f = faulty_store.stats();
+        if f.total_faults() == 0 {
+            return Err(format!("{label}: seed {seed} injected no faults"));
+        }
+        let _ = writeln!(
+            out,
+            "{label}: reads {faulty:?}, faults {} ({} transient / {} torn / {} latency), \
+             torn admitted 0",
+            f.total_faults(),
+            f.transient_faults,
+            f.torn_faults,
+            f.latency_spikes,
+        );
+    }
+    let _ = std::fs::remove_file(&path);
     let _ = writeln!(
         out,
-        "all {} combinations recovered; invariants hold under injected failure",
-        PolicyKind::ALL.len() * 3
+        "all {} combinations recovered ({} file-backed); invariants hold under injected failure",
+        PolicyKind::ALL.len() * 4,
+        PolicyKind::ALL.len()
     );
     Ok(out)
 }

@@ -21,6 +21,7 @@ pub mod exp;
 pub mod output;
 pub mod report;
 pub mod setup;
+pub mod storage;
 pub mod throughput;
 
 pub use setup::TestBed;

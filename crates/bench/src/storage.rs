@@ -1,0 +1,516 @@
+//! The `bench storage` subcommand: the persistence axis of the
+//! benchmarks. Exports the index to a `BFPG` page file, then replays
+//! the same four-representative refinement workload against every
+//! storage backend — the in-memory simulator, the file store in both
+//! service modes, and the file store behind the I/O scheduler at a
+//! sweep of queue depths — and checks they are event-for-event
+//! interchangeable while measuring what the latency model says each
+//! one costs.
+//!
+//! Same two-output contract as `bench throughput`:
+//!
+//! * **stdout** — deterministic: read counts, entries, the virtual
+//!   clock's modeled waits, and the cross-backend identity check. No
+//!   wall-clock number is ever printed here; CI runs the command twice
+//!   and diffs the output.
+//! * **`--out` JSON** — the timed pass (real clock, modeled waits
+//!   actually slept, best of two repeats), carrying the wall-clock
+//!   numbers that show a deeper queue beating the serial disk.
+
+use crate::setup::{pick_representatives, profile_queries, TestBed};
+use ir_core::eval::{evaluate, EvalOptions};
+use ir_core::{Algorithm, Query, RefinementKind, RefinementSequence};
+use ir_index::save_page_file;
+use ir_storage::{
+    BufferManager, BufferStats, DiskStats, FileMode, FilePageStore, IoConfig, IoScheduler,
+    LatencyModel, PageStore, PolicyKind,
+};
+use ir_types::{ClockKind, FilterParams, IrResult};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Bumped whenever the storage-report shape changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Replacement policy for every backend. Storage behavior, not
+/// eviction quality, is the variable under test.
+const POLICY: PolicyKind = PolicyKind::Lru;
+
+/// Timed repeats per backend (best wall time reported).
+const TIMED_REPEATS: usize = 2;
+
+/// One backend of the sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageRow {
+    /// Backend label ("disksim", "file", "file-resident",
+    /// "file+sched[qdN]").
+    pub backend: String,
+    /// Scheduler queue depth (0 for unscheduled backends).
+    pub queue_depth: u64,
+    /// Demand page reads the backend served to the buffer pool.
+    /// Identical across every row — the identity contract.
+    pub reads: u64,
+    /// Physical reads the underlying device performed. Equal to
+    /// `reads` for unscheduled backends; with prefetch it also counts
+    /// speculative tail reads the evaluator never demanded.
+    pub device_reads: u64,
+    /// Posting entries the device delivered (physical, so speculative
+    /// reads are included).
+    pub entries: u64,
+    /// Device reads classified sequential by head tracking. Scheduled
+    /// backends at depth > 1 reorder physical reads (prefetch), so
+    /// this may differ across rows even though the delivered page
+    /// stream is identical.
+    pub sequential_reads: u64,
+    /// Device reads classified random.
+    pub random_reads: u64,
+    /// Pages the buffer pool served without a store read.
+    pub pool_hits: u64,
+    /// Modeled I/O wait on the deterministic virtual clock, µs.
+    pub io_wait_virtual_us: u64,
+    /// Demand reads answered from the scheduler's prefetch cache.
+    pub overlap_hits: u64,
+    /// Wall time of the best timed repeat (real clock: modeled waits
+    /// slept), µs. Machine-dependent; JSON only.
+    pub wall_us: u64,
+}
+
+/// The whole `BENCH_storage.json` document.
+#[derive(Clone, Debug, Serialize)]
+pub struct StorageReport {
+    /// Report shape version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Collection scale the sweep ran at.
+    pub scale: f64,
+    /// Frames in every backend's buffer pool.
+    pub frames: u64,
+    /// Seek cost of the latency model, µs.
+    pub seek_us: u64,
+    /// Transfer cost of the latency model, µs.
+    pub transfer_us: u64,
+    /// Queries evaluated per backend.
+    pub queries: u64,
+    /// One row per backend.
+    pub rows: Vec<StorageRow>,
+}
+
+fn eval_options() -> EvalOptions {
+    EvalOptions {
+        params: FilterParams::PERSIN,
+        top_n: 20,
+        baf_force_first_page: false,
+        announce_query: true,
+    }
+}
+
+/// Replays the four representative refinement sequences, interleaved
+/// round-robin, through one cold buffer pool over `store`. Returns the
+/// per-query disk reads (the event-identity fingerprint), the pool's
+/// counters, and the wall time of the replay.
+fn drive<S: PageStore>(
+    bed: &TestBed,
+    seqs: &[RefinementSequence],
+    store: S,
+    frames: usize,
+) -> Result<(Vec<u64>, BufferStats, Duration), String> {
+    let mut buffer = BufferManager::new(store, frames, POLICY)
+        .map_err(|e| format!("pool construction failed: {e}"))?;
+    let max_steps = seqs.iter().map(|s| s.steps.len()).max().unwrap_or(0);
+    let mut per_query_reads = Vec::new();
+    let started = Instant::now();
+    for step in 0..max_steps {
+        for (user, seq) in seqs.iter().enumerate() {
+            if let Some(terms) = seq.steps.get(step) {
+                let stats = Query::from_ids(&bed.index, terms)
+                    .and_then(|q| {
+                        evaluate(Algorithm::Baf, &bed.index, &mut buffer, &q, eval_options())
+                    })
+                    .map_err(|e| format!("user {user} step {step}: {e}"))?
+                    .stats;
+                per_query_reads.push(stats.disk_reads);
+            }
+        }
+    }
+    Ok((per_query_reads, buffer.stats(), started.elapsed()))
+}
+
+/// Wall time of the best of [`TIMED_REPEATS`] replays, where each
+/// repeat builds a fresh pool over the store `make` returns.
+fn timed_best<S: PageStore>(
+    bed: &TestBed,
+    seqs: &[RefinementSequence],
+    frames: usize,
+    mut make: impl FnMut() -> Result<S, String>,
+) -> Result<Duration, String> {
+    let mut best: Option<Duration> = None;
+    for _ in 0..TIMED_REPEATS {
+        let (_, _, wall) = drive(bed, seqs, make()?, frames)?;
+        if best.is_none_or(|b| wall < b) {
+            best = Some(wall);
+        }
+    }
+    Ok(best.expect("TIMED_REPEATS >= 1"))
+}
+
+struct Deterministic {
+    per_query_reads: Vec<u64>,
+    pool: BufferStats,
+    disk: DiskStats,
+    /// Demand reads the backend served (device reads on the demand
+    /// path + prefetch-cache hits). Equals `disk.reads` when there is
+    /// no scheduler in front of the device.
+    demand_served: u64,
+    io_wait_virtual_us: u64,
+    overlap_hits: u64,
+}
+
+fn row_from(backend: &str, queue_depth: u64, d: &Deterministic, wall: Duration) -> StorageRow {
+    StorageRow {
+        backend: backend.to_string(),
+        queue_depth,
+        reads: d.demand_served,
+        device_reads: d.disk.reads,
+        entries: d.disk.entries_read,
+        sequential_reads: d.disk.sequential_reads,
+        random_reads: d.disk.random_reads,
+        pool_hits: d.pool.hits,
+        io_wait_virtual_us: d.io_wait_virtual_us,
+        overlap_hits: d.overlap_hits,
+        wall_us: wall.as_micros() as u64,
+    }
+}
+
+/// Runs the storage sweep: simulator, file store (both modes), and
+/// scheduler at each depth in `depths`, under a `seek_us`+`transfer_us`
+/// latency model. Returns the deterministic stdout block and the timed
+/// report, or the first failure — including any violation of the
+/// cross-backend identity contract or of the queue-depth win.
+pub fn run(
+    scale: f64,
+    depths: &[usize],
+    seek_us: u64,
+    transfer_us: u64,
+) -> Result<(String, StorageReport), String> {
+    if depths.is_empty() {
+        return Err("queue-depth sweep is empty".to_string());
+    }
+    let model = LatencyModel {
+        seek_us,
+        transfer_us,
+    };
+    let bed = TestBed::at_scale(scale).map_err(|e| format!("testbed construction failed: {e}"))?;
+    let profiles = profile_queries(&bed).map_err(|e| format!("profiling failed: {e}"))?;
+    let reps = pick_representatives(&profiles);
+    let users = [reps.query1, reps.query2, reps.query3, reps.query4];
+    // Same pool-sizing rule as the chaos matrix and throughput sweep:
+    // half the combined DF working set — contended but not thrashing.
+    let frames: usize = users
+        .iter()
+        .map(|&t| profiles[t].df_reads as usize)
+        .sum::<usize>()
+        .max(2)
+        / 2;
+    let seqs: Vec<RefinementSequence> = users
+        .iter()
+        .map(|&t| bed.sequence(t, RefinementKind::AddOnly))
+        .collect::<IrResult<_>>()
+        .map_err(|e| format!("building sequences: {e}"))?;
+
+    // Export the index once; every file-backed row serves this file.
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("buffir-bench-storage-{}.bfpg", std::process::id()));
+    save_page_file(&bed.index, &path).map_err(|e| format!("page-file export failed: {e}"))?;
+    let open = |mode: FileMode| -> Result<Arc<FilePageStore>, String> {
+        FilePageStore::open(&path, mode)
+            .map(Arc::new)
+            .map_err(|e| format!("opening {}: {e}", path.display()))
+    };
+    let sched = |store: Arc<FilePageStore>, depth: usize, clock: ClockKind| {
+        IoScheduler::new(
+            store,
+            IoConfig {
+                queue_depth: depth,
+                model,
+                clock,
+            },
+        )
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "storage sweep: scale {scale}, {frames} frames, policy {POLICY}, \
+         model seek {seek_us}µs transfer {transfer_us}µs",
+    );
+
+    // Deterministic pass (virtual clock — modeled waits accounted, not
+    // slept), one backend at a time.
+    let mut runs: Vec<(String, u64, Deterministic)> = Vec::new();
+
+    bed.index.disk().reset_stats();
+    let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(bed.index.disk()), frames)?;
+    runs.push((
+        "disksim".into(),
+        0,
+        Deterministic {
+            per_query_reads: fingerprint,
+            pool,
+            disk: bed.index.disk().stats(),
+            demand_served: bed.index.disk().stats().reads,
+            io_wait_virtual_us: 0,
+            overlap_hits: 0,
+        },
+    ));
+    bed.index.disk().reset_stats();
+
+    for (label, mode) in [
+        ("file", FileMode::Buffered),
+        ("file-resident", FileMode::Resident),
+    ] {
+        let store = open(mode)?;
+        let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(&store), frames)?;
+        runs.push((
+            label.into(),
+            0,
+            Deterministic {
+                per_query_reads: fingerprint,
+                pool,
+                disk: store.stats(),
+                demand_served: store.stats().reads,
+                io_wait_virtual_us: 0,
+                overlap_hits: 0,
+            },
+        ));
+    }
+
+    for &depth in depths {
+        let store = open(FileMode::Buffered)?;
+        let scheduler = Arc::new(sched(Arc::clone(&store), depth, ClockKind::Virtual));
+        let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(&scheduler), frames)?;
+        runs.push((
+            format!("file+sched[qd{depth}]"),
+            depth as u64,
+            Deterministic {
+                per_query_reads: fingerprint,
+                pool,
+                disk: store.stats(),
+                demand_served: scheduler.metrics().demand_reads.get()
+                    + scheduler.metrics().overlap_hits.get(),
+                io_wait_virtual_us: scheduler.io_wait_us(),
+                overlap_hits: scheduler.metrics().overlap_hits.get(),
+            },
+        ));
+    }
+
+    // Identity contract: every backend must deliver the same page
+    // stream — same per-query read counts, same pool hit/miss split.
+    let (_, _, baseline) = &runs[0];
+    for (label, _, d) in &runs[1..] {
+        if d.per_query_reads != baseline.per_query_reads {
+            return Err(format!(
+                "{label}: per-query disk reads diverge from disksim \
+                 ({:?} vs {:?}) — the storage tier changed observable events",
+                d.per_query_reads, baseline.per_query_reads
+            ));
+        }
+        if (d.pool.requests, d.pool.hits, d.pool.misses)
+            != (
+                baseline.pool.requests,
+                baseline.pool.hits,
+                baseline.pool.misses,
+            )
+        {
+            return Err(format!(
+                "{label}: pool counters diverge from disksim \
+                 ({:?} vs {:?})",
+                d.pool, baseline.pool
+            ));
+        }
+        // At the device level only demand reads must match: a
+        // prefetching scheduler legitimately performs extra
+        // speculative reads (plan tails the evaluator's filter then
+        // skips, cache evictions), but what it *serves* the pool must
+        // be the same page stream.
+        if d.demand_served != baseline.demand_served {
+            return Err(format!(
+                "{label}: served {} demand reads where disksim served {} \
+                 — the storage tier changed observable events",
+                d.demand_served, baseline.demand_served
+            ));
+        }
+        if d.disk.reads < d.demand_served {
+            return Err(format!(
+                "{label}: device performed {} reads but served {} demands \
+                 — overlap accounting is inconsistent",
+                d.disk.reads, d.demand_served
+            ));
+        }
+    }
+
+    for (label, _, d) in &runs {
+        let _ = writeln!(
+            out,
+            "{label}: served {}, device reads {} ({} seq / {} rand), entries {}, \
+             pool hits {}, io_wait_virtual {}µs, overlap {}",
+            d.demand_served,
+            d.disk.reads,
+            d.disk.sequential_reads,
+            d.disk.random_reads,
+            d.disk.entries_read,
+            d.pool.hits,
+            d.io_wait_virtual_us,
+            d.overlap_hits
+        );
+    }
+
+    // The queue-depth win, on the deterministic clock: the deepest
+    // queue must wait less than the serial disk.
+    let wait_at = |depth: u64| {
+        runs.iter()
+            .find(|(_, qd, _)| *qd == depth)
+            .map(|(_, _, d)| d.io_wait_virtual_us)
+    };
+    if let (Some(serial), Some(&max_depth)) = (wait_at(1), depths.iter().max()) {
+        if max_depth > 1 {
+            let deep = wait_at(max_depth as u64).expect("row exists for every depth");
+            if deep >= serial {
+                return Err(format!(
+                    "queue depth {max_depth} waited {deep}µs on the virtual clock, \
+                     not less than the serial disk's {serial}µs — scheduling bought nothing"
+                ));
+            }
+            let _ = writeln!(
+                out,
+                "virtual-clock win: qd{max_depth} waits {deep}µs vs qd1 {serial}µs \
+                 ({} %)",
+                deep * 100 / serial.max(1)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "all {} backends served identical page streams; timings in the JSON report only",
+        runs.len()
+    );
+
+    // Timed pass (real clock — modeled waits slept), best of
+    // TIMED_REPEATS fresh cold runs per backend.
+    let mut rows = Vec::with_capacity(runs.len());
+    for (label, depth, d) in &runs {
+        let wall = match (label.as_str(), *depth) {
+            ("disksim", _) => {
+                bed.index.disk().reset_stats();
+                let w = timed_best(&bed, &seqs, frames, || Ok(Arc::clone(bed.index.disk())))?;
+                bed.index.disk().reset_stats();
+                w
+            }
+            ("file", _) => timed_best(&bed, &seqs, frames, || open(FileMode::Buffered))?,
+            ("file-resident", _) => timed_best(&bed, &seqs, frames, || open(FileMode::Resident))?,
+            (_, depth) => timed_best(&bed, &seqs, frames, || {
+                Ok(Arc::new(sched(
+                    open(FileMode::Buffered)?,
+                    depth as usize,
+                    ClockKind::Real,
+                )))
+            })?,
+        };
+        rows.push(row_from(label, *depth, d, wall));
+    }
+
+    // The wall-clock version of the win: under the real clock, every
+    // depth >= 4 must finish the workload faster than the serial disk.
+    if let Some(serial) = rows.iter().find(|r| r.queue_depth == 1) {
+        for deep in rows.iter().filter(|r| r.queue_depth >= 4) {
+            if deep.wall_us >= serial.wall_us {
+                return Err(format!(
+                    "{} took {}µs of wall time, not less than qd1's {}µs — \
+                     the scheduler must beat the serial disk end to end",
+                    deep.backend, deep.wall_us, serial.wall_us
+                ));
+            }
+        }
+    }
+
+    let queries = runs[0].2.per_query_reads.len() as u64;
+    let report = StorageReport {
+        schema_version: SCHEMA_VERSION,
+        scale,
+        frames: frames as u64,
+        seek_us,
+        transfer_us,
+        queries,
+        rows,
+    };
+    let _ = std::fs::remove_file(&path);
+    Ok((out, report))
+}
+
+/// Serializes a storage report as JSON.
+pub fn to_json(report: &StorageReport) -> String {
+    serde_json::to_string(report).expect("storage report serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_and_identity_checked() {
+        let (out1, rep1) = run(1.0 / 32.0, &[1, 4], 200, 50).unwrap();
+        let (out2, rep2) = run(1.0 / 32.0, &[1, 4], 200, 50).unwrap();
+        assert_eq!(out1, out2, "stdout block must be byte-identical");
+        assert!(
+            !out1.contains("wall"),
+            "no wall-clock output on stdout: {out1}"
+        );
+        assert_eq!(rep1.rows.len(), 5, "disksim + 2 file modes + 2 depths");
+        assert_eq!(rep1.schema_version, SCHEMA_VERSION);
+        for (a, b) in rep1.rows.iter().zip(&rep2.rows) {
+            assert_eq!(a.backend, b.backend);
+            assert_eq!(a.reads, b.reads);
+            assert_eq!(a.entries, b.entries);
+            assert_eq!(a.io_wait_virtual_us, b.io_wait_virtual_us);
+        }
+        // Identity across backends: same served reads and pool hits
+        // everywhere; unscheduled and serial backends do no
+        // speculative device reads on top.
+        let first = &rep1.rows[0];
+        for r in &rep1.rows {
+            assert_eq!(r.reads, first.reads, "{}", r.backend);
+            assert_eq!(r.pool_hits, first.pool_hits, "{}", r.backend);
+            if r.queue_depth <= 1 {
+                assert_eq!(r.device_reads, r.reads, "{}", r.backend);
+                assert_eq!(r.entries, first.entries, "{}", r.backend);
+            } else {
+                assert!(r.device_reads >= r.reads, "{}", r.backend);
+            }
+        }
+        // The deeper queue waits deterministically less.
+        let wait = |qd: u64| {
+            rep1.rows
+                .iter()
+                .find(|r| r.queue_depth == qd)
+                .unwrap()
+                .io_wait_virtual_us
+        };
+        assert!(wait(4) < wait(1));
+        // And the scheduled rows actually overlapped something.
+        assert!(
+            rep1.rows
+                .iter()
+                .any(|r| r.queue_depth >= 4 && r.overlap_hits > 0),
+            "prefetch never hit"
+        );
+        let json = to_json(&rep1);
+        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"io_wait_virtual_us\""));
+    }
+
+    #[test]
+    fn empty_depth_sweep_is_rejected() {
+        assert!(run(1.0 / 32.0, &[], 200, 50).is_err());
+    }
+}

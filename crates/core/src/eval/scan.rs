@@ -66,6 +66,10 @@ pub(crate) fn scan_term<B: QueryBuffer>(
     // was served from this caller's frames, a sibling's, or disk — so
     // the counts stay per-query even when other sessions drive the
     // same pool concurrently (pool-wide miss deltas don't).
+    // Let a latency-modeling store start the plan's tail transfers
+    // before the demand batch arrives; a no-op for every in-memory
+    // store, so the event stream is untouched.
+    buffer.prefetch(&plan);
     let mut fetched = FETCH_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
     if let Err(e) = buffer.fetch_batch_into(&plan, &mut fetched) {
         fetched.clear();

@@ -131,8 +131,10 @@ impl SearchEngine {
     /// Evaluates a pre-analyzed `(term, f_{q,t})` query and appends one
     /// row to the engine's [cost ledger](SearchEngine::ledger).
     pub fn search_terms(&mut self, terms: &[(String, u32)]) -> IrResult<QueryResult> {
+        use ir_storage::PageStore;
         let query = Query::from_named(&self.index, terms);
         let started = std::time::Instant::now();
+        let io_wait_before = self.buffer.store().io_wait_us();
         let result = evaluate(
             self.config.algorithm,
             &self.index,
@@ -146,9 +148,10 @@ impl SearchEngine {
             },
         )?;
         let eval_us = started.elapsed().as_micros() as u64;
+        let io_wait_us = self.buffer.store().io_wait_us() - io_wait_before;
         let step = self.ledger.len() as u32;
         self.ledger
-            .record(query_cost(0, step, &result.stats, eval_us));
+            .record(query_cost(0, step, &result.stats, eval_us, io_wait_us));
         Ok(result)
     }
 

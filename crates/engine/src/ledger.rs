@@ -35,6 +35,11 @@ pub struct QueryCost {
     /// Read plans the evaluator issued as batched fetches (defaults to
     /// 0 when deserializing ledgers recorded before batching existed).
     pub batches: u64,
+    /// Microseconds the query's disk reads made it wait for I/O
+    /// completions, as accounted by the store's latency model
+    /// (`PageStore::io_wait_us`). Zero for the in-memory simulator and
+    /// for ledgers recorded before the storage backend existed.
+    pub io_wait_us: u64,
 }
 
 /// Required field of a JSON-object value.
@@ -66,6 +71,7 @@ impl serde::Deserialize for QueryCost {
             candidates: req(v, "candidates")?,
             estimated_reads: req(v, "estimated_reads")?,
             batches: opt(v, "batches")?,
+            io_wait_us: opt(v, "io_wait_us")?,
         })
     }
 }
@@ -89,6 +95,8 @@ pub struct SessionCost {
     pub peak_candidates: u64,
     /// Total batched read plans issued.
     pub batches: u64,
+    /// Total microseconds spent waiting on I/O completions.
+    pub io_wait_us: u64,
 }
 
 // Hand-written for the same back-compat reason as `QueryCost`.
@@ -103,6 +111,7 @@ impl serde::Deserialize for SessionCost {
             eval_us: req(v, "eval_us")?,
             peak_candidates: req(v, "peak_candidates")?,
             batches: opt(v, "batches")?,
+            io_wait_us: opt(v, "io_wait_us")?,
         })
     }
 }
@@ -116,6 +125,7 @@ impl SessionCost {
         self.eval_us += q.eval_us;
         self.peak_candidates = self.peak_candidates.max(q.candidates);
         self.batches += q.batches;
+        self.io_wait_us += q.io_wait_us;
     }
 }
 
@@ -193,10 +203,19 @@ impl CostLedger {
 }
 
 /// Builds a [`QueryCost`] from one evaluation's [`EvalStats`] plus the
-/// one cost the stats cannot see (wall time). Hits and borrows come
-/// straight from the evaluator's per-fetch counters, so the row is
-/// exact even when other sessions drive the same pool concurrently.
-pub fn query_cost(session: u32, step: u32, stats: &ir_core::EvalStats, eval_us: u64) -> QueryCost {
+/// two costs the stats cannot see: wall time, and the store-level I/O
+/// wait (the caller takes the delta of `PageStore::io_wait_us` around
+/// the evaluation; zero for stores without a latency model). Hits and
+/// borrows come straight from the evaluator's per-fetch counters, so
+/// the row is exact even when other sessions drive the same pool
+/// concurrently.
+pub fn query_cost(
+    session: u32,
+    step: u32,
+    stats: &ir_core::EvalStats,
+    eval_us: u64,
+    io_wait_us: u64,
+) -> QueryCost {
     QueryCost {
         session,
         step,
@@ -207,6 +226,7 @@ pub fn query_cost(session: u32, step: u32, stats: &ir_core::EvalStats, eval_us: 
         candidates: stats.peak_accumulators as u64,
         estimated_reads: stats.baf_estimated_reads,
         batches: stats.batches_issued,
+        io_wait_us,
     }
 }
 
@@ -225,6 +245,7 @@ mod tests {
             candidates: cands,
             estimated_reads: reads + 1,
             batches: 3,
+            io_wait_us: 250,
         }
     }
 
@@ -246,6 +267,7 @@ mod tests {
         assert_eq!(sessions[0].eval_us, 20);
         assert_eq!(sessions[0].peak_candidates, 60);
         assert_eq!(sessions[0].batches, 6);
+        assert_eq!(sessions[0].io_wait_us, 500);
         assert_eq!(sessions[1].queries, 1);
         assert_eq!(sessions[1].peak_candidates, 90);
     }
@@ -262,9 +284,10 @@ mod tests {
             peak_accumulators: 5,
             ..ir_core::EvalStats::default()
         };
-        let row = query_cost(4, 1, &stats, 123);
+        let row = query_cost(4, 1, &stats, 123, 77);
         assert_eq!(row.buffer_hits, stats.buffer_hits);
         assert_eq!(row.borrows, stats.borrows);
+        assert_eq!(row.io_wait_us, 77);
         assert_eq!(
             row.disk_reads + row.buffer_hits,
             stats.pages_processed,
@@ -289,6 +312,7 @@ mod tests {
             "borrows":1,"eval_us":10,"candidates":40,"estimated_reads":6}]}"#;
         let back: CostLedger = serde_json::from_str(json).unwrap();
         assert_eq!(back.entries[0].batches, 0);
+        assert_eq!(back.entries[0].io_wait_us, 0);
     }
 
     #[test]

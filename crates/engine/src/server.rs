@@ -41,7 +41,7 @@ use ir_index::InvertedIndex;
 use ir_observe::SpanKind;
 use ir_storage::{
     BufferManager, BufferStats, DiskSim, FaultConfig, FaultStats, FaultStore, FetchOutcome,
-    FetchPolicy, Page, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
+    FetchPolicy, Page, PageStore, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
     ShardedBufferPool, SharedBufferManager, SharedPartitionedBuffer,
 };
 use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
@@ -571,6 +571,7 @@ impl<'a> SessionServer<'a> {
                     ServerPool::Sharded(p) => SessionBuffer::Sharded(p.clone()),
                 };
                 let turns = &turns;
+                let store = Arc::clone(&store);
                 handles.push(scope.spawn(move |_| {
                     let mut sspan =
                         ir_observe::tracer().span(SpanKind::Session, format!("user:{user}"));
@@ -585,6 +586,12 @@ impl<'a> SessionServer<'a> {
                         if failure.is_none() {
                             if let Some(terms) = spec.sequence.steps.get(step) {
                                 let started = std::time::Instant::now();
+                                // Store-level I/O wait, attributed by
+                                // delta. Exact under RoundRobin (one
+                                // query in flight); under FreeRun a
+                                // concurrent query's waits can land in
+                                // this row — totals stay correct.
+                                let io_wait_before = store.io_wait_us();
                                 // A panic inside evaluation must not
                                 // strand the other sessions at the
                                 // turnstile: catch it and fail this
@@ -616,6 +623,7 @@ impl<'a> SessionServer<'a> {
                                             step as u32,
                                             &result.stats,
                                             started.elapsed().as_micros() as u64,
+                                            store.io_wait_us() - io_wait_before,
                                         ));
                                         steps.push(StepOutcome {
                                             stats: result.stats,

@@ -41,4 +41,4 @@ pub use docstats::DocStats;
 pub use forward::ForwardIndex;
 pub use index::InvertedIndex;
 pub use lexicon::{Lexicon, TermEntry};
-pub use persist::{load_index, save_index, PersistError};
+pub use persist::{load_index, save_index, save_page_file, PersistError};

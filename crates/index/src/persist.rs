@@ -223,6 +223,35 @@ pub fn save_index(index: &InvertedIndex, path: &Path) -> Result<(), PersistError
     Ok(())
 }
 
+/// Exports the index's inverted-list pages to a `BFPG` page file (see
+/// `ir_storage::backend::file`), the on-disk tier a
+/// [`FilePageStore`](ir_storage::FilePageStore) serves queries from.
+///
+/// Complements [`save_index`]: the BFIR file carries the whole index
+/// (lexicon, document statistics, codec-compressed postings) for
+/// rebuilding `InvertedIndex` in memory; the page file carries the
+/// *page images* — same page boundaries, same `idf_t`, same build-time
+/// checksums — so a file-backed run demands exactly the pages a
+/// `DiskSim`-backed run would. Like `save_index`, the export's own
+/// reads are wiped from the simulator's counters afterwards, and the
+/// write is atomic (temp file + rename).
+pub fn save_page_file(index: &InvertedIndex, path: &Path) -> Result<(), PersistError> {
+    use ir_storage::{backend::TermPages, PageStore};
+    let mut terms = Vec::with_capacity(index.n_terms());
+    for (term, e) in index.lexicon().iter() {
+        let mut pages = Vec::with_capacity(e.n_pages as usize);
+        for p in 0..e.n_pages {
+            pages.push(index.disk().read_page(PageId::new(term, p))?);
+        }
+        terms.push(TermPages { idf: e.idf, pages });
+    }
+    index.disk().reset_stats(); // export reads are not query reads
+    ir_storage::write_page_file(&terms, path).map_err(|e| match e {
+        ir_storage::PageFileError::Io(io) => PersistError::Io(io),
+        other => PersistError::Corrupt(other.to_string()),
+    })
+}
+
 /// Loads an index saved by [`save_index`].
 pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
     let mut data = Vec::new();
@@ -392,6 +421,40 @@ mod tests {
         let dir = std::env::temp_dir().join("buffir-persist-tests");
         fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    #[test]
+    fn page_file_round_trips_every_page_and_resets_export_reads() {
+        use ir_storage::{FileMode, FilePageStore, PageStore};
+        let idx = sample_index();
+        let path = tmpfile("pages.bfpg");
+        save_page_file(&idx, &path).unwrap();
+        assert_eq!(
+            idx.disk().stats().reads,
+            0,
+            "export reads must not pollute the simulator's counters"
+        );
+        for mode in [FileMode::Buffered, FileMode::Resident] {
+            let store = FilePageStore::open(&path, mode).unwrap();
+            assert_eq!(store.n_lists(), idx.n_terms());
+            assert_eq!(store.total_pages(), idx.total_pages());
+            for (term, e) in idx.lexicon().iter() {
+                assert_eq!(store.list_len(term), Some(e.n_pages));
+                for p in 0..e.n_pages {
+                    let id = PageId::new(term, p);
+                    let a = idx.disk().read_page(id).unwrap();
+                    let b = store.read_page(id).unwrap();
+                    assert_eq!(a.postings(), b.postings());
+                    assert_eq!(a.checksum(), b.checksum());
+                    assert_eq!(
+                        a.max_weight().to_bits(),
+                        b.max_weight().to_bits(),
+                        "idf must survive the page file bit-exactly"
+                    );
+                }
+            }
+        }
+        idx.disk().reset_stats();
     }
 
     #[test]

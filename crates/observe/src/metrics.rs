@@ -88,6 +88,16 @@ pub const DEFAULT_LATENCY_BOUNDS: [u64; 12] = [
     1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
 ];
 
+/// Histogram bounds for modeled device I/O latencies, µs: powers of
+/// two from 4 µs to ~1 s. Finer at the low end than
+/// [`DEFAULT_LATENCY_BOUNDS`] because a page transfer under the
+/// storage tier's seek+bandwidth model sits in the tens-to-hundreds of
+/// microseconds, where the power-of-four grid is too coarse to tell a
+/// sequential hit from a seek.
+pub const IO_LATENCY_US_BOUNDS: [u64; 12] = [
+    4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 131_072, 262_144, 524_288, 1_048_576,
+];
+
 #[derive(Debug)]
 struct HistogramInner {
     /// Inclusive upper bounds of the first `bounds.len()` buckets; one

@@ -1,0 +1,579 @@
+//! The I/O scheduler: a submission/completion queue over any
+//! [`PageStore`], pricing every read with a seek+bandwidth latency
+//! model and letting prefetched completions overlap compute.
+//!
+//! The model is the classic shared-disk shape: a request costs
+//! `transfer_us`, plus `seek_us` when the head has to move (the read
+//! is not the physical successor of the previous one — the same
+//! sequential/random rule [`DiskSim`](crate::DiskSim) uses for its
+//! counters). The device exposes `queue_depth` channels; the requests
+//! of one batch are spread round-robin across them, each channel
+//! serves its share serially, and the batch completes when the
+//! slowest channel does. Depth 1 therefore degenerates to a strictly
+//! serial disk (total wait = sum of costs), while depth `d` divides
+//! the wait by up to `d` — which is exactly the effect the
+//! `bench storage` sweep demonstrates.
+//!
+//! Two clocks ([`ClockKind`]): *virtual* accounts every wait in
+//! `io_wait_us` without sleeping (deterministic — two identical runs
+//! report identical waits), *real* additionally sleeps the modeled
+//! wait so queue depth shows up in wall time.
+//!
+//! **Determinism contract**: with `queue_depth <= 1` the prefetch path
+//! is a no-op and every read is forwarded to the inner store in
+//! request order, so the scheduler is invisible to the event stream;
+//! zero the model and it is invisible to the accounting too.
+
+use crate::disk::PageStore;
+use crate::page::Page;
+use ir_observe::{Counter, Gauge, Histogram, IO_LATENCY_US_BOUNDS};
+use ir_types::{ClockKind, CompletionToken, IrResult, PageId, ReadPlan, TermId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Seek + bandwidth pricing of one page read, dslab-`SharedDisk`
+/// style: every request pays the transfer, and a head movement pays
+/// the seek on top.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cost of repositioning the head, µs. Charged when the request is
+    /// not the physical successor of the previous physical read.
+    pub seek_us: u64,
+    /// Cost of transferring one page, µs. Charged on every request.
+    pub transfer_us: u64,
+}
+
+impl LatencyModel {
+    /// The free disk: every read completes instantly. This is the
+    /// model under which the scheduler must be observationally
+    /// invisible.
+    pub const ZERO: LatencyModel = LatencyModel {
+        seek_us: 0,
+        transfer_us: 0,
+    };
+
+    /// True when no read can ever cost anything.
+    pub fn is_zero(&self) -> bool {
+        self.seek_us == 0 && self.transfer_us == 0
+    }
+
+    /// Modeled device time for one request, µs.
+    pub fn cost_us(&self, sequential: bool) -> u64 {
+        self.transfer_us + if sequential { 0 } else { self.seek_us }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct IoConfig {
+    /// Number of device channels requests are spread across. Depth 1
+    /// is a strictly serial disk and disables prefetch.
+    pub queue_depth: usize,
+    /// The per-request pricing model.
+    pub model: LatencyModel,
+    /// Whether modeled waits are slept ([`ClockKind::Real`]) or only
+    /// accounted ([`ClockKind::Virtual`]).
+    pub clock: ClockKind,
+}
+
+impl Default for IoConfig {
+    /// Depth 1, zero cost, virtual clock: the configuration under
+    /// which the scheduler is event-for-event invisible.
+    fn default() -> Self {
+        IoConfig {
+            queue_depth: 1,
+            model: LatencyModel::ZERO,
+            clock: ClockKind::Virtual,
+        }
+    }
+}
+
+/// Instruments exposed by an [`IoScheduler`].
+#[derive(Clone, Debug)]
+pub struct IoMetrics {
+    /// Configured queue depth (channels available to the device).
+    pub queue_depth: Gauge,
+    /// Modeled device time per demand-side request, µs (prefetch
+    /// device time is excluded: it is the part callers never wait on).
+    pub latency_us: Histogram,
+    /// Demand reads answered from the prefetch cache — each one is a
+    /// read whose transfer overlapped with compute.
+    pub overlap_hits: Counter,
+    /// Demand reads that had to go to the device.
+    pub demand_reads: Counter,
+    /// Cumulative modeled wait imposed on callers, µs (slept under the
+    /// real clock, accounted under the virtual one).
+    pub io_wait_us: Counter,
+}
+
+impl IoMetrics {
+    fn new(queue_depth: usize) -> Self {
+        let m = IoMetrics {
+            queue_depth: Gauge::new(),
+            latency_us: Histogram::with_bounds(&IO_LATENCY_US_BOUNDS),
+            overlap_hits: Counter::new(),
+            demand_reads: Counter::new(),
+            io_wait_us: Counter::new(),
+        };
+        m.queue_depth.set(queue_depth as i64);
+        m
+    }
+}
+
+/// A page the scheduler read ahead of demand.
+#[derive(Debug)]
+struct Prefetched {
+    page: Page,
+    /// Completion instant on the virtual timeline, µs.
+    ready_at_us: u64,
+    /// Device time this read was priced at.
+    cost_us: u64,
+    /// When the read was issued on the wall clock (real mode only):
+    /// the demand-side wait is whatever part of `cost_us` compute has
+    /// not already covered.
+    issued: Option<Instant>,
+}
+
+#[derive(Debug, Default)]
+struct SchedState {
+    /// Head position after the last *physical* read (demand or
+    /// prefetch), for the sequential/random pricing decision.
+    last: Option<PageId>,
+    /// The virtual timeline, µs. Advances by each batch's wait.
+    now_us: u64,
+    next_token: CompletionToken,
+    cache: HashMap<PageId, Prefetched>,
+    /// Insertion order of `cache`, for capacity eviction.
+    order: VecDeque<PageId>,
+}
+
+/// Prefetch cache capacity: enough for several plan tails, small
+/// enough that the scheduler never shadows the buffer pool's job.
+const PREFETCH_CAP: usize = 64;
+
+/// A latency-modeling submission/completion queue wrapped around an
+/// inner [`PageStore`].
+///
+/// All scheduling state sits behind one mutex — the single device
+/// being modeled — so concurrent sessions serialize here exactly as
+/// they would on one spindle, and the accounting order equals the
+/// request order.
+#[derive(Debug)]
+pub struct IoScheduler<S> {
+    inner: S,
+    config: IoConfig,
+    metrics: IoMetrics,
+    state: Mutex<SchedState>,
+}
+
+impl<S: PageStore> IoScheduler<S> {
+    /// Wraps `inner` under `config`.
+    pub fn new(inner: S, config: IoConfig) -> Self {
+        let depth = config.queue_depth.max(1);
+        IoScheduler {
+            inner,
+            config: IoConfig {
+                queue_depth: depth,
+                ..config
+            },
+            metrics: IoMetrics::new(depth),
+            state: Mutex::new(SchedState::default()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> IoConfig {
+        self.config
+    }
+
+    /// The scheduler's instruments.
+    pub fn metrics(&self) -> &IoMetrics {
+        &self.metrics
+    }
+
+    /// Current reading of the virtual timeline, µs.
+    pub fn virtual_now_us(&self) -> u64 {
+        self.state.lock().now_us
+    }
+
+    /// Convenience: issues the tail of `plan` (everything after the
+    /// head, which stays a demand read) to the prefetch path.
+    pub fn prefetch_plan(&self, plan: &ReadPlan) {
+        if plan.entries().len() > 1 {
+            let ids: Vec<PageId> = plan.entries()[1..].iter().map(|e| e.page).collect();
+            self.prefetch(&ids);
+        }
+    }
+
+    fn classify(last: &mut Option<PageId>, id: PageId) -> bool {
+        let sequential = matches!(
+            *last,
+            Some(prev) if prev.term == id.term && prev.page.0 + 1 == id.page.0
+        );
+        *last = Some(id);
+        sequential
+    }
+
+    /// The one service routine: every demand read ([`read_page`] and
+    /// [`read_pages`] both land here) runs its batch through the
+    /// channel model and pays the resulting wait.
+    fn service(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut state = self.state.lock();
+        // Per-channel busy time for this batch, relative to its start.
+        let mut channels = vec![0u64; self.config.queue_depth];
+        let mut next_ch = 0usize;
+        // Residual waits for cache hits whose transfer is still in
+        // flight when demanded.
+        let mut residual: u64 = 0;
+        for &id in ids {
+            if let Some(pf) = state.cache.remove(&id) {
+                state.order.retain(|p| *p != id);
+                self.metrics.overlap_hits.inc();
+                let remaining = match (self.config.clock, pf.issued) {
+                    (ClockKind::Real, Some(at)) => {
+                        pf.cost_us.saturating_sub(at.elapsed().as_micros() as u64)
+                    }
+                    _ => pf.ready_at_us.saturating_sub(state.now_us),
+                };
+                residual = residual.max(remaining);
+                out.push(Ok(pf.page));
+            } else {
+                match self.inner.read_page(id) {
+                    Ok(page) => {
+                        self.metrics.demand_reads.inc();
+                        let sequential = Self::classify(&mut state.last, id);
+                        let cost = self.config.model.cost_us(sequential);
+                        self.metrics.latency_us.record(cost);
+                        channels[next_ch % self.config.queue_depth] += cost;
+                        next_ch += 1;
+                        out.push(Ok(page));
+                    }
+                    Err(e) => {
+                        // Same contract as the stores underneath:
+                        // errors cost nothing and end the batch.
+                        out.push(Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+        let wait = channels.iter().copied().max().unwrap_or(0).max(residual);
+        state.now_us += wait;
+        drop(state);
+        if wait > 0 {
+            self.metrics.io_wait_us.add(wait);
+            if self.config.clock == ClockKind::Real {
+                std::thread::sleep(std::time::Duration::from_micros(wait));
+            }
+        }
+        out
+    }
+}
+
+impl<S: PageStore> PageStore for IoScheduler<S> {
+    fn read_page(&self, id: PageId) -> IrResult<Page> {
+        self.service(std::slice::from_ref(&id))
+            .pop()
+            .expect("service returns one result per requested page")
+    }
+
+    fn list_len(&self, term: TermId) -> Option<u32> {
+        self.inner.list_len(term)
+    }
+
+    fn n_lists(&self) -> usize {
+        self.inner.n_lists()
+    }
+
+    fn can_tear(&self) -> bool {
+        self.inner.can_tear()
+    }
+
+    fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
+        self.service(ids)
+    }
+
+    /// Issues `ids` to the device now so their transfers overlap the
+    /// caller's compute. No-op at depth 1 (a serial disk has no spare
+    /// channel to read ahead on). Read failures are dropped here —
+    /// advisory path — and resurface on the demand read.
+    fn prefetch(&self, ids: &[PageId]) {
+        if self.config.queue_depth <= 1 || ids.is_empty() {
+            return;
+        }
+        let issued_at = match self.config.clock {
+            ClockKind::Real => Some(Instant::now()),
+            ClockKind::Virtual => None,
+        };
+        let mut state = self.state.lock();
+        let mut channels = vec![0u64; self.config.queue_depth];
+        let mut next_ch = 0usize;
+        for &id in ids {
+            if state.cache.contains_key(&id) {
+                continue;
+            }
+            let Ok(page) = self.inner.read_page(id) else {
+                // Don't cache failures; the demand read will hit the
+                // same error and report it through the normal path.
+                break;
+            };
+            let sequential = Self::classify(&mut state.last, id);
+            let ch = next_ch % self.config.queue_depth;
+            next_ch += 1;
+            channels[ch] += self.config.model.cost_us(sequential);
+            let token = state.next_token;
+            state.next_token = token.next();
+            if state.order.len() >= PREFETCH_CAP {
+                if let Some(old) = state.order.pop_front() {
+                    state.cache.remove(&old);
+                }
+            }
+            let ready_at_us = state.now_us + channels[ch];
+            state.cache.insert(
+                id,
+                Prefetched {
+                    page,
+                    ready_at_us,
+                    cost_us: channels[ch],
+                    issued: issued_at,
+                },
+            );
+            state.order.push_back(id);
+        }
+    }
+
+    fn io_wait_us(&self) -> u64 {
+        self.metrics.io_wait_us.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskSim;
+    use ir_types::Posting;
+    use std::sync::Arc;
+
+    fn store(pages_per_term: u32) -> DiskSim {
+        let lists = (0..3u32)
+            .map(|t| {
+                (0..pages_per_term)
+                    .map(|p| {
+                        let postings: Vec<Posting> =
+                            (0..3).map(|d| Posting::new(d, d + 1)).collect();
+                        Page::new(PageId::new(TermId(t), p), postings.into(), 1.5)
+                    })
+                    .collect()
+            })
+            .collect();
+        DiskSim::new(lists)
+    }
+
+    fn pid(t: u32, p: u32) -> PageId {
+        PageId::new(TermId(t), p)
+    }
+
+    fn ids(n: u32) -> Vec<PageId> {
+        (0..n).map(|p| pid(0, p)).collect()
+    }
+
+    #[test]
+    fn zero_model_depth_one_is_invisible() {
+        let sched = IoScheduler::new(Arc::new(store(4)), IoConfig::default());
+        let raw = store(4);
+        let request = [pid(0, 0), pid(0, 1), pid(2, 3), pid(0, 2)];
+        let a = sched.read_pages(&request);
+        let b = raw.read_pages(&request);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.as_ref().unwrap().postings(),
+                y.as_ref().unwrap().postings()
+            );
+        }
+        assert_eq!(sched.inner().stats(), raw.stats());
+        assert_eq!(sched.io_wait_us(), 0);
+        assert_eq!(sched.virtual_now_us(), 0);
+        // Prefetch is a no-op on a serial disk: no cache, no reads.
+        sched.prefetch(&[pid(1, 0)]);
+        assert_eq!(sched.inner().stats().reads, raw.stats().reads);
+        assert_eq!(sched.metrics().overlap_hits.get(), 0);
+    }
+
+    #[test]
+    fn serial_disk_pays_the_sum_deeper_queues_pay_the_max() {
+        let model = LatencyModel {
+            seek_us: 200,
+            transfer_us: 50,
+        };
+        let batch = ids(4); // seq after the first: 200+50 + 3×50 = 400
+        let qd = |depth| {
+            let sched = IoScheduler::new(
+                store(4),
+                IoConfig {
+                    queue_depth: depth,
+                    model,
+                    clock: ClockKind::Virtual,
+                },
+            );
+            sched.read_pages(&batch);
+            sched.io_wait_us()
+        };
+        let serial = qd(1);
+        assert_eq!(serial, 400);
+        let four = qd(4);
+        // Round-robin over 4 channels: {250, 50, 50, 50} → 250.
+        assert_eq!(four, 250);
+        assert!(four < serial, "depth must shorten the critical path");
+        assert_eq!(qd(16), 250, "past the batch width, depth stops helping");
+    }
+
+    #[test]
+    fn virtual_clock_is_deterministic_across_runs() {
+        let run = || {
+            let sched = IoScheduler::new(
+                store(6),
+                IoConfig {
+                    queue_depth: 4,
+                    model: LatencyModel {
+                        seek_us: 120,
+                        transfer_us: 30,
+                    },
+                    clock: ClockKind::Virtual,
+                },
+            );
+            sched.prefetch(&[pid(1, 0), pid(1, 1)]);
+            sched.read_pages(&ids(5));
+            sched.read_pages(&[pid(1, 0), pid(1, 1), pid(2, 0)]);
+            (
+                sched.io_wait_us(),
+                sched.virtual_now_us(),
+                sched.metrics().overlap_hits.get(),
+                sched.metrics().demand_reads.get(),
+                sched.metrics().latency_us.sum(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn prefetched_pages_overlap_compute() {
+        let sched = IoScheduler::new(
+            store(4),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel {
+                    seek_us: 100,
+                    transfer_us: 25,
+                },
+                clock: ClockKind::Virtual,
+            },
+        );
+        sched.prefetch(&ids(3));
+        assert_eq!(
+            sched.inner().stats().reads,
+            3,
+            "prefetch reads are physical"
+        );
+        assert_eq!(sched.io_wait_us(), 0, "nobody waited yet");
+        // Demand the batch: pages come from the cache, the only wait
+        // is the still-in-flight residual.
+        let out = sched.read_pages(&ids(3));
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(sched.metrics().overlap_hits.get(), 3);
+        assert_eq!(sched.metrics().demand_reads.get(), 0);
+        assert_eq!(sched.inner().stats().reads, 3, "no duplicate device reads");
+        // Residual equals the slowest channel of the prefetch round.
+        assert_eq!(sched.io_wait_us(), 125);
+        // A second demand of the same pages goes to the device again.
+        let again = sched.read_pages(&ids(3));
+        assert!(again.iter().all(Result::is_ok));
+        assert_eq!(sched.metrics().demand_reads.get(), 3);
+    }
+
+    #[test]
+    fn errors_end_the_batch_and_cost_nothing() {
+        let sched = IoScheduler::new(
+            store(2),
+            IoConfig {
+                queue_depth: 2,
+                model: LatencyModel {
+                    seek_us: 10,
+                    transfer_us: 10,
+                },
+                clock: ClockKind::Virtual,
+            },
+        );
+        let out = sched.read_pages(&[pid(0, 0), pid(0, 9), pid(0, 1)]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        // Only the successful read was priced.
+        assert_eq!(sched.metrics().latency_us.count(), 1);
+        assert_eq!(sched.io_wait_us(), 20);
+    }
+
+    #[test]
+    fn prefetch_cache_is_bounded() {
+        let lists = (0..1u32)
+            .map(|t| {
+                (0..(PREFETCH_CAP as u32 + 8))
+                    .map(|p| {
+                        Page::new(
+                            PageId::new(TermId(t), p),
+                            vec![Posting::new(1, 1)].into(),
+                            1.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let sched = IoScheduler::new(
+            DiskSim::new(lists),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel::ZERO,
+                clock: ClockKind::Virtual,
+            },
+        );
+        let all: Vec<PageId> = (0..(PREFETCH_CAP as u32 + 8)).map(|p| pid(0, p)).collect();
+        sched.prefetch(&all);
+        let state = sched.state.lock();
+        assert_eq!(state.cache.len(), PREFETCH_CAP);
+        assert_eq!(state.order.len(), PREFETCH_CAP);
+        assert!(
+            !state.cache.contains_key(&pid(0, 0)),
+            "oldest entries were evicted"
+        );
+    }
+
+    #[test]
+    fn real_clock_actually_sleeps() {
+        let sched = IoScheduler::new(
+            store(4),
+            IoConfig {
+                queue_depth: 1,
+                model: LatencyModel {
+                    seek_us: 2_000,
+                    transfer_us: 500,
+                },
+                clock: ClockKind::Real,
+            },
+        );
+        let t0 = Instant::now();
+        sched.read_pages(&ids(2)); // 2500 + 500 = 3000µs modeled
+        let elapsed = t0.elapsed();
+        assert_eq!(sched.io_wait_us(), 3_000);
+        assert!(
+            elapsed.as_micros() >= 2_500,
+            "real clock must sleep the modeled wait (slept {elapsed:?})"
+        );
+    }
+}

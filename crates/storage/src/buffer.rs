@@ -309,6 +309,30 @@ impl<S: PageStore> BufferManager<S> {
         self.fetch_entries(plan.entries(), out)
     }
 
+    /// Hints the store about the tail of `plan` so a latency-modeling
+    /// backend (`ir-storage::backend::IoScheduler`) can overlap those
+    /// transfers with the compute on the plan's head. The head entry is
+    /// excluded — it is about to be demanded anyway — as are entries
+    /// already resident in the pool. Advisory and effect-free for every
+    /// store whose [`PageStore::prefetch`] keeps the no-op default
+    /// ([`DiskSim`](crate::DiskSim), [`FilePageStore`](crate::FilePageStore),
+    /// the fault injector): the pool's own counters, events, and
+    /// residency never change here.
+    pub fn prefetch(&self, plan: &ReadPlan) {
+        let entries = plan.entries();
+        if entries.len() <= 1 {
+            return;
+        }
+        let ids: Vec<PageId> = entries[1..]
+            .iter()
+            .map(|e| e.page)
+            .filter(|id| !self.is_resident(*id))
+            .collect();
+        if !ids.is_empty() {
+            self.store.prefetch(&ids);
+        }
+    }
+
     /// Executes `plan` from entry `start` onward, **appending** to
     /// `out`, and records the batch metrics for the *whole* plan. For
     /// lock-light wrappers that already served entries `0..start` as

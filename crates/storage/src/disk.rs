@@ -56,6 +56,20 @@ pub trait PageStore {
         }
         out
     }
+
+    /// Hints that `ids` will be demanded shortly, in order. A scheduler
+    /// that can overlap transfers with compute starts them now; the
+    /// default — right for synchronous stores, where an early read
+    /// saves nothing — does nothing. Advisory only: errors are *not*
+    /// reported here, they surface on the demand read.
+    fn prefetch(&self, _ids: &[PageId]) {}
+
+    /// Cumulative microseconds this store made callers wait for I/O
+    /// completions (modeled or slept). Zero for stores that do not
+    /// model latency.
+    fn io_wait_us(&self) -> u64 {
+        0
+    }
 }
 
 /// Cumulative disk counters.
@@ -236,6 +250,14 @@ impl<S: PageStore + ?Sized> PageStore for &S {
     fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
         (**self).read_pages(ids)
     }
+
+    fn prefetch(&self, ids: &[PageId]) {
+        (**self).prefetch(ids);
+    }
+
+    fn io_wait_us(&self) -> u64 {
+        (**self).io_wait_us()
+    }
 }
 
 impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
@@ -257,6 +279,14 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
 
     fn read_pages(&self, ids: &[PageId]) -> Vec<IrResult<Page>> {
         (**self).read_pages(ids)
+    }
+
+    fn prefetch(&self, ids: &[PageId]) {
+        (**self).prefetch(ids);
+    }
+
+    fn io_wait_us(&self) -> u64 {
+        (**self).io_wait_us()
     }
 }
 

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod buffer;
 pub mod disk;
 pub mod fault;
@@ -38,6 +39,10 @@ pub mod sharded;
 pub mod shared;
 pub mod stats;
 
+pub use backend::{
+    write_page_file, FileMode, FilePageStore, IoConfig, IoMetrics, IoScheduler, LatencyModel,
+    PageFileError, TermPages,
+};
 pub use buffer::{Backoff, BufferManager, FetchOutcome, FetchPolicy};
 pub use disk::{DiskSim, DiskStats, PageStore};
 pub use fault::{FaultConfig, FaultStats, FaultStore};

@@ -75,6 +75,15 @@ pub trait QueryBuffer {
         Ok(())
     }
 
+    /// Hints that the tail of `plan` is about to be demanded, so a
+    /// latency-modeling store can start those transfers while the
+    /// caller computes on the plan's head. Purely advisory — the
+    /// default does nothing, and no counter, event, or residency
+    /// state may change on this path. Implementors forward to
+    /// [`PageStore::prefetch`](crate::PageStore::prefetch) where they
+    /// have a store to forward to.
+    fn prefetch(&mut self, _plan: &ReadPlan) {}
+
     /// `b_t`: resident page count of `term`'s inverted list.
     fn resident_pages(&self, term: TermId) -> u32;
 
@@ -120,6 +129,10 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
         out: &mut Vec<(Page, FetchOutcome)>,
     ) -> IrResult<()> {
         BufferManager::fetch_batch_into(self, plan, out)
+    }
+
+    fn prefetch(&mut self, plan: &ReadPlan) {
+        BufferManager::prefetch(self, plan);
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -200,6 +213,10 @@ impl<T: QueryBuffer> QueryBuffer for Shared<T> {
         out: &mut Vec<(Page, FetchOutcome)>,
     ) -> IrResult<()> {
         self.inner.lock().fetch_batch_into(plan, out)
+    }
+
+    fn prefetch(&mut self, plan: &ReadPlan) {
+        self.inner.lock().prefetch(plan);
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {

@@ -15,6 +15,7 @@
 
 pub mod error;
 pub mod ids;
+pub mod io;
 pub mod params;
 pub mod posting;
 pub mod read_plan;
@@ -22,6 +23,7 @@ pub mod weights;
 
 pub use error::{IrError, IrResult};
 pub use ids::{DocId, PageId, PageNo, TermId};
+pub use io::{ClockKind, CompletionToken, ReadHandle};
 pub use params::{FilterParams, IndexParams, ListOrdering, DEFAULT_PAGE_SIZE, DEFAULT_TOP_N};
 pub use posting::{doc_order, frequency_order, is_frequency_sorted, Posting};
 pub use read_plan::{PlanEntry, ReadPlan};
