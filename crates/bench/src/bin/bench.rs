@@ -29,7 +29,8 @@ const USAGE: &str = "usage: bench report [--scale SIGMA] [--out FILE]
        bench compare BASELINE CURRENT [--tolerance FRACTION]
        bench chaos [--seed N] [--scale SIGMA]
        bench throughput [--scale SIGMA] [--sessions N,N,..] [--shards P] [--repeats R] [--out FILE] [--gate-scaling]
-       bench storage [--scale SIGMA] [--depths N,N,..] [--seek-us N] [--transfer-us N] [--out FILE]";
+       bench storage [--scale SIGMA] [--depths N,N,..] [--seek-us N] [--transfer-us N] [--out FILE]
+       bench adaptive [--scale SIGMA] [--out FILE]";
 
 /// Writes a schema-versioned JSON artifact to `out` and mirrors it
 /// into `results/` (when `out` is not already there), so both the
@@ -105,6 +106,13 @@ fn run_report(args: &[String]) -> Result<(), String> {
         report.server.queries,
         report.server.wall_us,
         report.server.queries_per_sec
+    );
+    println!(
+        "adaptive: {} queries, {} reads, {} leader switches, {} shadow experts",
+        report.adaptive.queries,
+        report.adaptive.total_reads,
+        report.adaptive.switches,
+        report.adaptive.shadow_hits.len()
     );
     std::fs::write(&out, to_json(&report) + "\n").map_err(|e| format!("writing {out}: {e}"))?;
     println!("report written to {out}");
@@ -339,6 +347,37 @@ fn run_storage(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_adaptive(args: &[String]) -> Result<(), String> {
+    let mut scale = 1.0 / 16.0;
+    let mut out = "BENCH_adaptive.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or("--scale needs a number in (0, 1]")?;
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).ok_or("--out needs a file path")?.clone();
+            }
+            other => return Err(format!("unknown adaptive flag {other:?}")),
+        }
+        i += 1;
+    }
+    let (text, report) = ir_bench::adaptive::run(scale)?;
+    // Reads, switch counts and shadow hits are all deterministic and
+    // no wall-clock number exists in this report, so the whole block
+    // goes to stdout — CI diffs two runs.
+    print!("{text}");
+    write_json_mirrored(&out, &ir_bench::adaptive::to_json(&report))?;
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -347,6 +386,7 @@ fn main() -> ExitCode {
         Some("chaos") => run_chaos(&args[1..]),
         Some("throughput") => run_throughput(&args[1..]),
         Some("storage") => run_storage(&args[1..]),
+        Some("adaptive") => run_adaptive(&args[1..]),
         Some("--help") | Some("-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -154,7 +154,7 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
         "chaos matrix: seed {seed}, scale {scale}, {} sessions, retry budget {RETRY_BUDGET}",
         specs.len()
     );
-    for policy in PolicyKind::ALL {
+    for policy in PolicyKind::ALL.into_iter().chain(PolicyKind::ADAPTIVE) {
         for layout in [
             PoolLayout::Shared {
                 total_frames,
@@ -171,7 +171,7 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
                 shards,
             },
         ] {
-            let label = format!("{policy:>8} / {}", layout_name(layout));
+            let label = format!("{policy:>9} / {}", layout_name(layout));
             let clean = SessionServer::new(&bed.index, layout)
                 .run(&specs, Schedule::RoundRobin)
                 .map_err(|e| format!("{label}: fault-free run failed: {e}"))?;
@@ -232,8 +232,8 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
     let file_store = FilePageStore::open(&path, FileMode::Buffered)
         .map(Arc::new)
         .map_err(|e| format!("opening {}: {e}", path.display()))?;
-    for policy in PolicyKind::ALL {
-        let label = format!("{policy:>8} / file[{total_frames}]");
+    for policy in PolicyKind::ALL.into_iter().chain(PolicyKind::ADAPTIVE) {
+        let label = format!("{policy:>9} / file[{total_frames}]");
         let clean = drive_sessions(
             &bed,
             &specs,
@@ -282,8 +282,8 @@ pub fn run(seed: u64, scale: f64) -> Result<String, String> {
     let _ = writeln!(
         out,
         "all {} combinations recovered ({} file-backed); invariants hold under injected failure",
-        PolicyKind::ALL.len() * 4,
-        PolicyKind::ALL.len()
+        (PolicyKind::ALL.len() + PolicyKind::ADAPTIVE.len()) * 4,
+        PolicyKind::ALL.len() + PolicyKind::ADAPTIVE.len()
     );
     Ok(out)
 }

@@ -150,6 +150,24 @@ pub struct ServerSummary {
     pub queries_per_sec: f64,
 }
 
+/// One sample of the expert-mixture adaptive policy: the four
+/// representative sessions re-run round-robin over one shared pool
+/// under [`PolicyKind::Adaptive`]. Every number here is deterministic
+/// (reads, switch counts, shadow hits — no wall clock), but the
+/// section is informational (not compared — a baseline written before
+/// it existed reads back as all zeros).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveSummary {
+    /// Queries evaluated across all sessions.
+    pub queries: u64,
+    /// Total disk reads over the run.
+    pub total_reads: u64,
+    /// Leader switches the mixture made.
+    pub switches: u64,
+    /// `(expert, shadow hits)` pairs, sorted by expert name.
+    pub shadow_hits: Vec<(String, u64)>,
+}
+
 /// The whole report.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchReport {
@@ -171,6 +189,9 @@ pub struct BenchReport {
     /// Threaded-server throughput sample (informational; not
     /// compared).
     pub server: ServerSummary,
+    /// Expert-mixture adaptive-policy sample (informational; not
+    /// compared).
+    pub adaptive: AdaptiveSummary,
     /// Global `ir-observe` counter values at the end of the run
     /// (informational; not compared).
     pub counters: Vec<(String, u64)>,
@@ -201,6 +222,10 @@ impl serde::Deserialize for BenchReport {
             )?,
             server: v.field("server").map_or_else(
                 || Ok(ServerSummary::default()),
+                serde::Deserialize::from_value,
+            )?,
+            adaptive: v.field("adaptive").map_or_else(
+                || Ok(AdaptiveSummary::default()),
                 serde::Deserialize::from_value,
             )?,
             counters: req(v, "counters")?,
@@ -368,6 +393,39 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
         }
     };
 
+    // Adaptive-policy sample: the same four sessions, round-robin so
+    // every number (reads, switches, shadow hits) is deterministic,
+    // over one shared pool running the expert mixture.
+    let adaptive = {
+        let users = [reps.query1, reps.query2, reps.query3, reps.query4];
+        let specs: Vec<SessionSpec> = users
+            .iter()
+            .map(|&t| {
+                bed.sequence(t, RefinementKind::AddOnly)
+                    .map(|seq| SessionSpec::new(seq, Algorithm::Baf))
+            })
+            .collect::<Result<_, _>>()?;
+        let total_frames: usize = users
+            .iter()
+            .map(|&t| profiles[t].df_reads as usize)
+            .sum::<usize>()
+            .max(2)
+            / 2;
+        let layout = PoolLayout::Shared {
+            total_frames,
+            policy: PolicyKind::Adaptive,
+            global_history: false,
+        };
+        let report = SessionServer::new(&bed.index, layout).run(&specs, Schedule::RoundRobin)?;
+        bed.index.disk().reset_stats();
+        AdaptiveSummary {
+            queries: report.ledger.len() as u64,
+            total_reads: report.total_disk_reads(),
+            switches: report.adaptive.switches,
+            shadow_hits: report.adaptive.shadow_hits,
+        }
+    };
+
     Ok(BenchReport {
         schema_version: SCHEMA_VERSION,
         scale,
@@ -377,6 +435,7 @@ pub fn collect(scale: f64) -> ExpResult<BenchReport> {
         micro,
         batching,
         server,
+        adaptive,
         counters: ir_observe::global().snapshot().counters,
     })
 }
@@ -521,6 +580,12 @@ mod tests {
                 wall_us: 42_000,
                 queries_per_sec: 571.4,
             },
+            adaptive: AdaptiveSummary {
+                queries: 24,
+                total_reads: 305,
+                switches: 2,
+                shadow_hits: vec![("LRU".into(), 11), ("RAP".into(), 17)],
+            },
             counters: vec![("index.pages_decoded".into(), 7)],
         }
     }
@@ -595,6 +660,7 @@ mod tests {
         assert_eq!(back.server.sessions, 4);
         assert_eq!(back.server.queries, 24);
         assert_eq!(back.server.wall_us, 42_000);
+        assert_eq!(back.adaptive, r.adaptive);
         assert_eq!(back.counters, r.counters);
     }
 
@@ -633,6 +699,25 @@ mod tests {
         assert!(
             compare(&old, &r, 0.15).is_empty(),
             "server summary is informational"
+        );
+    }
+
+    #[test]
+    fn pre_adaptive_baselines_read_back_as_zeros() {
+        // Same back-compat contract for the adaptive sample: a
+        // baseline without an "adaptive" field loads with zeros and
+        // still passes the gate.
+        let r = report();
+        let mut v = serde::Serialize::to_value(&r);
+        match &mut v {
+            serde::Value::Obj(fields) => fields.retain(|(k, _)| k != "adaptive"),
+            other => panic!("report serialized as non-object: {other:?}"),
+        }
+        let old = <BenchReport as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(old.adaptive, AdaptiveSummary::default());
+        assert!(
+            compare(&old, &r, 0.15).is_empty(),
+            "adaptive sample is informational"
         );
     }
 

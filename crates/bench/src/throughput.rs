@@ -265,6 +265,12 @@ pub fn to_json(report: &ThroughputReport) -> String {
 /// not noise — while wall time is compared as a qps ratio with no
 /// slack in the sharded pool's favor.
 ///
+/// Cells whose wall clock could not resolve the run (`wall_us == 0`,
+/// which fast machines produce on tiny sweeps; the reported qps is
+/// then the saturated as-if-1µs value) pass on query parity alone —
+/// a qps ratio between saturated and measured rows is meaningless,
+/// and failing the gate over clock resolution would make it flaky.
+///
 /// Returns a per-cell summary on success and the list of violations on
 /// failure. Callers should print either to **stderr**: the gate text
 /// contains wall-clock-derived ratios, and stdout's determinism
@@ -292,6 +298,15 @@ pub fn gate_scaling(report: &ThroughputReport, min_sessions: u64) -> Result<Stri
                  the workload is deterministic, so the layouts ran different work",
                 sharded.queries, shared.queries
             ));
+            continue;
+        }
+        if shared.wall_us == 0 || sharded.wall_us == 0 {
+            let _ = writeln!(
+                summary,
+                "sessions {n}: wall clock below µs resolution (shared {} µs, {} {} µs) — \
+                 qps verdict skipped, cell passes on query parity",
+                shared.wall_us, sharded.pool, sharded.wall_us
+            );
             continue;
         }
         let ratio = if shared.queries_per_sec > 0.0 {
@@ -430,6 +445,34 @@ mod tests {
             gate_row("sharded[4]", 4, 159, 5000.0),
         ]);
         let problems = gate_scaling(&drifted, 4).unwrap_err();
+        assert!(problems[0].contains("query counts diverge"), "{problems:?}");
+    }
+
+    #[test]
+    fn scaling_gate_tolerates_zero_wall_rows() {
+        // A machine fast enough to finish a cell inside the µs clock's
+        // resolution reports wall_us == 0 and a saturated qps; the
+        // ratio against a measured row is meaningless, so the cell
+        // must pass on query parity instead of failing the gate.
+        let mut sharded = gate_row("sharded[4]", 4, 160, 160_000_000.0);
+        sharded.wall_us = 0;
+        let rep = gate_report(vec![gate_row("shared", 4, 160, 5000.0), sharded]);
+        let summary = gate_scaling(&rep, 4).expect("zero-wall cell must not fail the gate");
+        assert!(summary.contains("below µs resolution"), "{summary}");
+
+        // ... and the saturated side being *shared* (the losing shape
+        // under the old code was a bogus ratio) must also pass.
+        let mut shared = gate_row("shared", 4, 160, 160_000_000.0);
+        shared.wall_us = 0;
+        let rep = gate_report(vec![shared, gate_row("sharded[4]", 4, 160, 5000.0)]);
+        let summary = gate_scaling(&rep, 4).expect("zero-wall shared row must not fail the gate");
+        assert!(summary.contains("below µs resolution"), "{summary}");
+
+        // Query drift is still an error even when the clock gave out.
+        let mut sharded = gate_row("sharded[4]", 4, 159, 160_000_000.0);
+        sharded.wall_us = 0;
+        let rep = gate_report(vec![gate_row("shared", 4, 160, 5000.0), sharded]);
+        let problems = gate_scaling(&rep, 4).unwrap_err();
         assert!(problems[0].contains("query counts diverge"), "{problems:?}");
     }
 

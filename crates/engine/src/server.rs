@@ -38,7 +38,7 @@ use crate::ledger::{query_cost, CostLedger, QueryCost};
 use ir_core::eval::{evaluate, EvalOptions};
 use ir_core::{Algorithm, Query, RefinementSequence, SequenceOutcome, StepOutcome};
 use ir_index::InvertedIndex;
-use ir_observe::SpanKind;
+use ir_observe::{MetricsSnapshot, SpanKind};
 use ir_storage::{
     BufferManager, BufferStats, DiskSim, FaultConfig, FaultStats, FaultStore, FetchOutcome,
     FetchPolicy, Page, PageStore, PartitionHandle, PartitionedBuffer, PolicyKind, QueryBuffer,
@@ -183,6 +183,37 @@ impl SessionOutcome {
     }
 }
 
+/// Adaptive-replacement activity a run's pool reported (all zero when
+/// the configured policy is a static one).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdaptiveStats {
+    /// Leader (or active-policy) changes the adaptive policy made.
+    pub switches: u64,
+    /// `(expert name, shadow hits)` pairs, sorted by expert name.
+    pub shadow_hits: Vec<(String, u64)>,
+}
+
+impl AdaptiveStats {
+    /// Harvests the `adaptive.*` counters out of a pool's metric dump.
+    pub fn from_dump(dump: &MetricsSnapshot) -> AdaptiveStats {
+        let mut stats = AdaptiveStats::default();
+        for (name, value) in &dump.counters {
+            if name == "adaptive.switches" {
+                stats.switches = *value;
+            } else if let Some(expert) = name.strip_prefix("adaptive.shadow_hits.") {
+                stats.shadow_hits.push((expert.to_string(), *value));
+            }
+        }
+        stats.shadow_hits.sort();
+        stats
+    }
+
+    /// Whether the run's policy reported any adaptive instrumentation.
+    pub fn is_active(&self) -> bool {
+        !self.shadow_hits.is_empty()
+    }
+}
+
 /// What a [`SessionServer::run`] call observed.
 #[derive(Clone, Debug)]
 pub struct ServerReport {
@@ -228,6 +259,9 @@ pub struct ServerReport {
     /// Read plans that spanned more than one shard (0 for non-sharded
     /// layouts).
     pub batch_splits: u64,
+    /// Switch counts and per-expert shadow hits when the pool runs an
+    /// adaptive replacement policy (all zero otherwise).
+    pub adaptive: AdaptiveStats,
 }
 
 impl ServerReport {
@@ -501,6 +535,7 @@ impl<'a> SessionServer<'a> {
                 queries_per_sec: 0.0,
                 lock_wait_us: 0,
                 batch_splits: 0,
+                adaptive: AdaptiveStats::default(),
             });
         }
         let (pool, total_frames) = match self.layout {
@@ -686,6 +721,7 @@ impl<'a> SessionServer<'a> {
             retries,
             gave_up,
             torn,
+            adaptive,
         ) = match &pool {
             ServerPool::Shared { pool, .. } => pool.with(|bm| {
                 let b_t: u64 = all_terms.map(|t| u64::from(bm.resident_pages(t))).sum();
@@ -698,6 +734,7 @@ impl<'a> SessionServer<'a> {
                     m.retries.get(),
                     m.gave_up.get(),
                     m.torn_pages.get(),
+                    AdaptiveStats::from_dump(&m.dump()),
                 )
             }),
             ServerPool::Partitioned(p) => p.with(|pb| {
@@ -716,6 +753,7 @@ impl<'a> SessionServer<'a> {
                     pb.retries(),
                     pb.gave_up(),
                     pb.torn_pages(),
+                    AdaptiveStats::from_dump(&pb.merged_dump()),
                 )
             }),
             ServerPool::Sharded(p) => {
@@ -740,14 +778,11 @@ impl<'a> SessionServer<'a> {
                     p.retries(),
                     p.gave_up(),
                     p.torn_pages(),
+                    AdaptiveStats::from_dump(&p.merged_dump()),
                 )
             }
         };
-        let queries_per_sec = if wall_us == 0 {
-            0.0
-        } else {
-            ledger.len() as f64 / (wall_us as f64 / 1_000_000.0)
-        };
+        let queries_per_sec = queries_per_sec(ledger.len(), wall_us);
         Ok(ServerReport {
             sessions,
             pool_stats,
@@ -764,7 +799,23 @@ impl<'a> SessionServer<'a> {
             queries_per_sec,
             lock_wait_us,
             batch_splits,
+            adaptive,
         })
+    }
+}
+
+/// Evaluated-queries-per-second of wall clock. Tiny runs on fast
+/// machines can finish inside the clock's µs resolution; saturate as
+/// if the run took one µs instead of reporting 0 qps for work that
+/// demonstrably happened. 0.0 is reserved for runs that evaluated
+/// nothing.
+fn queries_per_sec(evaluated: usize, wall_us: u64) -> f64 {
+    if evaluated == 0 {
+        0.0
+    } else if wall_us == 0 {
+        evaluated as f64 * 1_000_000.0
+    } else {
+        evaluated as f64 / (wall_us as f64 / 1_000_000.0)
     }
 }
 
@@ -1099,5 +1150,87 @@ mod tests {
         };
         assert_eq!(reads(&clean), reads(&faulty));
         assert_eq!(clean.pool_stats.misses, faulty.pool_stats.misses);
+    }
+
+    #[test]
+    fn qps_saturates_on_sub_microsecond_runs() {
+        assert_eq!(queries_per_sec(0, 0), 0.0);
+        assert_eq!(queries_per_sec(0, 500), 0.0, "no work is still 0 qps");
+        // A run too fast for the µs clock reports as if it took 1 µs
+        // instead of collapsing to zero.
+        assert_eq!(queries_per_sec(5, 0), 5_000_000.0);
+        assert_eq!(queries_per_sec(4, 2_000_000), 2.0);
+    }
+
+    #[test]
+    fn every_report_with_work_has_positive_qps() {
+        let idx = index();
+        let report = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 12,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        )
+        .run(&specs(&idx), Schedule::RoundRobin)
+        .unwrap();
+        assert!(!report.ledger.is_empty());
+        assert!(report.queries_per_sec > 0.0, "{report:?}");
+    }
+
+    #[test]
+    fn adaptive_counters_surface_in_the_report() {
+        let idx = index();
+        for layout in [
+            PoolLayout::Shared {
+                total_frames: 12,
+                policy: PolicyKind::Adaptive,
+                global_history: false,
+            },
+            PoolLayout::Partitioned {
+                frames_each: 4,
+                policy: PolicyKind::Adaptive,
+            },
+            PoolLayout::Sharded {
+                total_frames: 12,
+                policy: PolicyKind::Adaptive,
+                shards: 2,
+            },
+        ] {
+            let report = SessionServer::new(&idx, layout)
+                .run(&specs(&idx), Schedule::RoundRobin)
+                .unwrap();
+            assert!(report.adaptive.is_active(), "{layout:?}");
+            let names: Vec<&str> = report
+                .adaptive
+                .shadow_hits
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect();
+            assert!(names.contains(&"LRU"), "{layout:?}: {names:?}");
+            assert!(names.contains(&"RAP"), "{layout:?}: {names:?}");
+            assert!(
+                report.adaptive.shadow_hits.iter().any(|(_, h)| *h > 0),
+                "{layout:?}: shadow experts must observe hits"
+            );
+        }
+    }
+
+    #[test]
+    fn static_policies_report_no_adaptive_activity() {
+        let idx = index();
+        let report = SessionServer::new(
+            &idx,
+            PoolLayout::Shared {
+                total_frames: 12,
+                policy: PolicyKind::Lru,
+                global_history: false,
+            },
+        )
+        .run(&specs(&idx), Schedule::RoundRobin)
+        .unwrap();
+        assert_eq!(report.adaptive, AdaptiveStats::default());
+        assert!(!report.adaptive.is_active());
     }
 }

@@ -233,8 +233,19 @@ impl<S: PageStore> IoScheduler<S> {
         // flight when demanded.
         let mut residual: u64 = 0;
         for &id in ids {
-            if let Some(pf) = state.cache.remove(&id) {
+            let mut cached = state.cache.remove(&id);
+            if cached.is_some() {
                 state.order.retain(|p| *p != id);
+            }
+            // Integrity re-check: direct reads get the inner store's
+            // per-read fault/checksum path; a cached completion must
+            // not dodge it. Over a store that can deliver torn copies,
+            // a cached page that fails verification is discarded and
+            // the request falls through to a fresh demand read.
+            if self.inner.can_tear() && cached.as_ref().is_some_and(|pf| !pf.page.is_intact()) {
+                cached = None;
+            }
+            if let Some(pf) = cached {
                 self.metrics.overlap_hits.inc();
                 let remaining = match (self.config.clock, pf.issued) {
                     (ClockKind::Real, Some(at)) => {
@@ -324,6 +335,15 @@ impl<S: PageStore> PageStore for IoScheduler<S> {
                 // same error and report it through the normal path.
                 break;
             };
+            if self.inner.can_tear() && !page.is_intact() {
+                // A torn copy must never enter the completion cache —
+                // served from there it would skip the per-read
+                // fault/checksum path direct reads get. The head still
+                // moved, so pricing classification advances; the
+                // demand read re-runs the store's fault machinery.
+                let _ = Self::classify(&mut state.last, id);
+                continue;
+            }
             let sequential = Self::classify(&mut state.last, id);
             let ch = next_ch % self.config.queue_depth;
             next_ch += 1;
@@ -552,6 +572,99 @@ mod tests {
             !state.cache.contains_key(&pid(0, 0)),
             "oldest entries were evicted"
         );
+    }
+
+    /// Seeded `FaultStore`-over-`IoScheduler` regression: a torn copy
+    /// delivered to the *prefetch* path must never be parked in the
+    /// completion cache, where a later demand read would receive it
+    /// without the per-read fault/checksum path direct reads get.
+    #[test]
+    fn torn_prefetch_is_never_served_from_the_cache() {
+        use crate::fault::{FaultConfig, FaultStore};
+        // torn_rate 1.0 with a consecutive cap of 1: the first read of
+        // a page delivers a torn copy, the retry is clean.
+        let sched = IoScheduler::new(
+            FaultStore::new(
+                store(4),
+                FaultConfig {
+                    seed: 5,
+                    torn_rate: 1.0,
+                    max_consecutive_faults: 1,
+                    ..FaultConfig::DISABLED
+                },
+            ),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel {
+                    seek_us: 100,
+                    transfer_us: 25,
+                },
+                clock: ClockKind::Virtual,
+            },
+        );
+        assert!(sched.can_tear());
+        sched.prefetch(&[pid(0, 0)]);
+        assert!(
+            sched.state.lock().cache.is_empty(),
+            "a torn prefetch completion entered the cache"
+        );
+        // The demand read re-runs the store's fault machinery; the
+        // consecutive-fault cap guarantees this second read is clean.
+        let page = sched.read_page(pid(0, 0)).unwrap();
+        assert!(page.is_intact(), "demand read served a torn page");
+        assert_eq!(sched.metrics().overlap_hits.get(), 0);
+        assert_eq!(sched.inner().stats().torn_faults, 1);
+    }
+
+    /// Defense in depth on the service side: even a torn page that
+    /// somehow sits in the completion cache is discarded and re-read,
+    /// not served.
+    #[test]
+    fn cached_completions_are_reverified_on_demand() {
+        use crate::fault::{FaultConfig, FaultStore};
+        // A store that *can* tear (rate > 0) but whose draws never
+        // fire at this seed, so every physical read is delivered
+        // clean and the only torn page is the one we plant.
+        let sched = IoScheduler::new(
+            FaultStore::new(
+                store(4),
+                FaultConfig {
+                    seed: 9,
+                    torn_rate: 1e-12,
+                    ..FaultConfig::DISABLED
+                },
+            ),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel::ZERO,
+                clock: ClockKind::Virtual,
+            },
+        );
+        assert!(sched.can_tear());
+        {
+            let torn = store(4).read_page(pid(0, 1)).unwrap().into_torn();
+            assert!(!torn.is_intact());
+            let mut state = sched.state.lock();
+            state.cache.insert(
+                pid(0, 1),
+                Prefetched {
+                    page: torn,
+                    ready_at_us: 0,
+                    cost_us: 0,
+                    issued: None,
+                },
+            );
+            state.order.push_back(pid(0, 1));
+        }
+        let page = sched.read_page(pid(0, 1)).unwrap();
+        assert!(page.is_intact(), "torn cache entry served to a demand read");
+        assert_eq!(
+            sched.metrics().overlap_hits.get(),
+            0,
+            "a discarded entry is not an overlap hit"
+        );
+        assert_eq!(sched.metrics().demand_reads.get(), 1);
+        assert!(sched.state.lock().cache.is_empty());
     }
 
     #[test]

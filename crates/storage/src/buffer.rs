@@ -177,16 +177,42 @@ impl<S: PageStore> BufferManager<S> {
         if capacity == 0 {
             return Err(IrError::EmptyBufferPool);
         }
+        BufferManager::with_policy(store, capacity, policy.build(capacity), policy)
+    }
+
+    /// Creates a pool around an explicit policy instance — the way to
+    /// run a custom expert panel
+    /// ([`ExpertMixturePolicy::with_panel`](crate::policy::ExpertMixturePolicy::with_panel))
+    /// or any out-of-tree [`ReplacementPolicy`]. `kind` is the label
+    /// reports attribute the pool to.
+    ///
+    /// # Errors
+    /// [`IrError::EmptyBufferPool`] if `capacity` is zero.
+    pub fn with_policy(
+        store: S,
+        capacity: usize,
+        mut policy: Box<dyn ReplacementPolicy>,
+        kind: PolicyKind,
+    ) -> IrResult<Self> {
+        if capacity == 0 {
+            return Err(IrError::EmptyBufferPool);
+        }
+        let metrics = BufferMetrics::new();
+        // Adaptive policies register their `adaptive.*` counters in the
+        // pool's registry (and observe `buffer.hits` through it);
+        // classic policies ignore the offer, leaving the metric
+        // namespace untouched.
+        policy.attach_metrics(metrics.registry());
         Ok(BufferManager {
             store,
             capacity,
             frames: Arc::new(RwLock::new(HashMap::with_capacity(capacity))),
-            policy: policy.build(capacity),
-            policy_kind: policy,
+            policy,
+            policy_kind: kind,
             resident_per_term: Arc::new(RwLock::new(HashMap::new())),
             pins: HashMap::new(),
             fetch_policy: FetchPolicy::NO_RETRY,
-            metrics: BufferMetrics::new(),
+            metrics,
             observer: None,
         })
     }

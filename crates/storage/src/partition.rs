@@ -15,6 +15,7 @@ use crate::disk::PageStore;
 use crate::page::Page;
 use crate::policy::PolicyKind;
 use crate::stats::BufferStats;
+use ir_observe::MetricsSnapshot;
 use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -212,6 +213,24 @@ impl<S: PageStore> PartitionedBuffer<S> {
             total.evictions += s.evictions;
         }
         total
+    }
+
+    /// One counter snapshot covering every partition: each
+    /// partition's counters summed by name. Histograms and gauges are
+    /// per-partition state and are not merged — this rollup exists so
+    /// pool-wide counters (e.g. an adaptive policy's `adaptive.*`
+    /// instruments) stay visible under the partitioned layout.
+    pub fn merged_dump(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for p in &self.partitions {
+            for (name, value) in p.metrics().dump().counters {
+                match merged.counters.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += value,
+                    None => merged.counters.push((name, value)),
+                }
+            }
+        }
+        merged
     }
 
     /// Number of partitions.

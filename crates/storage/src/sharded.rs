@@ -177,8 +177,19 @@ impl<S: PageStore> Shard<S> {
     }
 
     /// Queues the deferred effects of a lock-light hit.
+    ///
+    /// The dirty flag is set *while still holding* the queue mutex.
+    /// Publishing it after release opened a window — enqueue done,
+    /// flag not yet stored — in which a concurrent drain
+    /// ([`ShardedBufferPool::lock`]) would observe a clean flag, skip
+    /// the queue, and strand the hit until the next unrelated
+    /// exclusive acquisition, breaking one-shard identity after
+    /// `quiesce()`. Setting the flag under the same lock the drain
+    /// clears it under restores the invariant: queue mutex free ∧
+    /// flag clear ⟹ queue empty.
     fn defer_hit(&self, id: PageId) {
-        self.pending_hits.lock().push(id);
+        let mut queue = self.pending_hits.lock();
+        queue.push(id);
         self.has_pending.store(true, Ordering::Release);
     }
 }
@@ -343,8 +354,16 @@ impl<S: PageStore> ShardedBufferPool<S> {
                 guard
             }
         };
-        if shard.has_pending.swap(false, Ordering::AcqRel) {
-            let mut drained = std::mem::take(&mut *shard.pending_hits.lock());
+        if shard.has_pending.load(Ordering::Acquire) {
+            // Clear the flag and empty the queue under one hold of the
+            // queue mutex — enqueuers set the flag under the same lock,
+            // so no hit can slip between the clear and the take (see
+            // `Shard::defer_hit`).
+            let mut drained = {
+                let mut queue = shard.pending_hits.lock();
+                shard.has_pending.store(false, Ordering::Release);
+                std::mem::take(&mut *queue)
+            };
             for id in drained.drain(..) {
                 guard.apply_deferred_hit(id);
             }
@@ -425,11 +444,12 @@ impl<S: PageStore> ShardedBufferPool<S> {
         if served > 0 {
             shard.metrics.requests.add(served as u64);
             shard.metrics.hits.add(served as u64);
-            shard
-                .pending_hits
-                .lock()
-                .extend(entries[..served].iter().map(|e| e.page));
+            // Flag set under the queue lock, as in `Shard::defer_hit`,
+            // so a concurrent drain cannot strand this batch of hits.
+            let mut queue = shard.pending_hits.lock();
+            queue.extend(entries[..served].iter().map(|e| e.page));
             shard.has_pending.store(true, Ordering::Release);
+            drop(queue);
         }
         if served == entries.len() {
             shard.metrics.batches.inc();
