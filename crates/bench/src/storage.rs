@@ -33,7 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bumped whenever the storage-report shape changes incompatibly.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Replacement policy for every backend. Storage behavior, not
 /// eviction quality, is the variable under test.
@@ -73,6 +73,13 @@ pub struct StorageRow {
     pub io_wait_virtual_us: u64,
     /// Demand reads answered from the scheduler's prefetch cache.
     pub overlap_hits: u64,
+    /// Completions pushed out of the scheduler's bounded prefetch
+    /// cache by newer submissions before any demand read claimed them.
+    pub prefetch_evicted: u64,
+    /// Prefetched pages whose device read never served a demand —
+    /// capacity evictions plus torn-page discards. Speculative reads
+    /// the device performed for nothing.
+    pub prefetch_wasted: u64,
     /// Wall time of the best timed repeat (real clock: modeled waits
     /// slept), µs. Machine-dependent; JSON only.
     pub wall_us: u64,
@@ -97,12 +104,13 @@ pub struct StorageReport {
     pub rows: Vec<StorageRow>,
 }
 
-fn eval_options() -> EvalOptions {
+fn eval_options(overlap: bool) -> EvalOptions {
     EvalOptions {
         params: FilterParams::PERSIN,
         top_n: 20,
         baf_force_first_page: false,
         announce_query: true,
+        overlap_io: overlap,
     }
 }
 
@@ -115,6 +123,7 @@ fn drive<S: PageStore>(
     seqs: &[RefinementSequence],
     store: S,
     frames: usize,
+    overlap: bool,
 ) -> Result<(Vec<u64>, BufferStats, Duration), String> {
     let mut buffer = BufferManager::new(store, frames, POLICY)
         .map_err(|e| format!("pool construction failed: {e}"))?;
@@ -126,7 +135,13 @@ fn drive<S: PageStore>(
             if let Some(terms) = seq.steps.get(step) {
                 let stats = Query::from_ids(&bed.index, terms)
                     .and_then(|q| {
-                        evaluate(Algorithm::Baf, &bed.index, &mut buffer, &q, eval_options())
+                        evaluate(
+                            Algorithm::Baf,
+                            &bed.index,
+                            &mut buffer,
+                            &q,
+                            eval_options(overlap),
+                        )
                     })
                     .map_err(|e| format!("user {user} step {step}: {e}"))?
                     .stats;
@@ -143,11 +158,12 @@ fn timed_best<S: PageStore>(
     bed: &TestBed,
     seqs: &[RefinementSequence],
     frames: usize,
+    overlap: bool,
     mut make: impl FnMut() -> Result<S, String>,
 ) -> Result<Duration, String> {
     let mut best: Option<Duration> = None;
     for _ in 0..TIMED_REPEATS {
-        let (_, _, wall) = drive(bed, seqs, make()?, frames)?;
+        let (_, _, wall) = drive(bed, seqs, make()?, frames, overlap)?;
         if best.is_none_or(|b| wall < b) {
             best = Some(wall);
         }
@@ -165,6 +181,8 @@ struct Deterministic {
     demand_served: u64,
     io_wait_virtual_us: u64,
     overlap_hits: u64,
+    prefetch_evicted: u64,
+    prefetch_wasted: u64,
 }
 
 fn row_from(backend: &str, queue_depth: u64, d: &Deterministic, wall: Duration) -> StorageRow {
@@ -179,6 +197,8 @@ fn row_from(backend: &str, queue_depth: u64, d: &Deterministic, wall: Duration) 
         pool_hits: d.pool.hits,
         io_wait_virtual_us: d.io_wait_virtual_us,
         overlap_hits: d.overlap_hits,
+        prefetch_evicted: d.prefetch_evicted,
+        prefetch_wasted: d.prefetch_wasted,
         wall_us: wall.as_micros() as u64,
     }
 }
@@ -251,7 +271,7 @@ pub fn run(
     let mut runs: Vec<(String, u64, Deterministic)> = Vec::new();
 
     bed.index.disk().reset_stats();
-    let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(bed.index.disk()), frames)?;
+    let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(bed.index.disk()), frames, false)?;
     runs.push((
         "disksim".into(),
         0,
@@ -262,6 +282,8 @@ pub fn run(
             demand_served: bed.index.disk().stats().reads,
             io_wait_virtual_us: 0,
             overlap_hits: 0,
+            prefetch_evicted: 0,
+            prefetch_wasted: 0,
         },
     ));
     bed.index.disk().reset_stats();
@@ -271,7 +293,7 @@ pub fn run(
         ("file-resident", FileMode::Resident),
     ] {
         let store = open(mode)?;
-        let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(&store), frames)?;
+        let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(&store), frames, false)?;
         runs.push((
             label.into(),
             0,
@@ -282,33 +304,62 @@ pub fn run(
                 demand_served: store.stats().reads,
                 io_wait_virtual_us: 0,
                 overlap_hits: 0,
+                prefetch_evicted: 0,
+                prefetch_wasted: 0,
             },
         ));
     }
 
     for &depth in depths {
-        let store = open(FileMode::Buffered)?;
-        let scheduler = Arc::new(sched(Arc::clone(&store), depth, ClockKind::Virtual));
-        let (fingerprint, pool, _) = drive(&bed, &seqs, Arc::clone(&scheduler), frames)?;
-        runs.push((
-            format!("file+sched[qd{depth}]"),
-            depth as u64,
-            Deterministic {
-                per_query_reads: fingerprint,
-                pool,
-                disk: store.stats(),
-                demand_served: scheduler.metrics().demand_reads.get()
-                    + scheduler.metrics().overlap_hits.get(),
-                io_wait_virtual_us: scheduler.io_wait_us(),
-                overlap_hits: scheduler.metrics().overlap_hits.get(),
-            },
-        ));
+        // Blocking split-phase (submit immediately completed), then —
+        // at depths that can actually overlap — the pipelined BAF loop
+        // that submits the next term before completing the current one.
+        for overlap in [false, true] {
+            if overlap && depth <= 1 {
+                continue; // the flag is inert on a serial device
+            }
+            let store = open(FileMode::Buffered)?;
+            let scheduler = Arc::new(sched(Arc::clone(&store), depth, ClockKind::Virtual));
+            let (fingerprint, pool, _) =
+                drive(&bed, &seqs, Arc::clone(&scheduler), frames, overlap)?;
+            let m = scheduler.metrics();
+            runs.push((
+                format!(
+                    "file+sched[qd{depth}]{}",
+                    if overlap { "+overlap" } else { "" }
+                ),
+                depth as u64,
+                Deterministic {
+                    per_query_reads: fingerprint,
+                    pool,
+                    disk: store.stats(),
+                    demand_served: m.demand_reads.get() + m.overlap_hits.get(),
+                    io_wait_virtual_us: scheduler.io_wait_us(),
+                    overlap_hits: m.overlap_hits.get(),
+                    prefetch_evicted: m.prefetch_evicted.get(),
+                    prefetch_wasted: m.prefetch_wasted.get(),
+                },
+            ));
+        }
     }
 
     // Identity contract: every backend must deliver the same page
     // stream — same per-query read counts, same pool hit/miss split.
     let (_, _, baseline) = &runs[0];
     for (label, _, d) in &runs[1..] {
+        if label.ends_with("+overlap") {
+            // The overlap loop's selection sees thresholds one
+            // completion staler than the sequential loop's, so its
+            // page stream may legitimately differ; only accounting
+            // conservation is required of it.
+            if d.disk.reads < d.demand_served {
+                return Err(format!(
+                    "{label}: device performed {} reads but served {} demands                      — overlap accounting is inconsistent",
+                    d.disk.reads, d.demand_served
+                ));
+            }
+            continue;
+        }
         if d.per_query_reads != baseline.per_query_reads {
             return Err(format!(
                 "{label}: per-query disk reads diverge from disksim \
@@ -354,7 +405,8 @@ pub fn run(
         let _ = writeln!(
             out,
             "{label}: served {}, device reads {} ({} seq / {} rand), entries {}, \
-             pool hits {}, io_wait_virtual {}µs, overlap {}",
+             pool hits {}, io_wait_virtual {}µs, overlap {}, \
+             prefetch evicted {} / wasted {}",
             d.demand_served,
             d.disk.reads,
             d.disk.sequential_reads,
@@ -362,7 +414,9 @@ pub fn run(
             d.disk.entries_read,
             d.pool.hits,
             d.io_wait_virtual_us,
-            d.overlap_hits
+            d.overlap_hits,
+            d.prefetch_evicted,
+            d.prefetch_wasted
         );
     }
 
@@ -390,10 +444,30 @@ pub fn run(
             );
         }
     }
+    // The split-phase win, on the deterministic clock: at each depth
+    // that can overlap, the pipelined BAF loop must shadow some waits.
+    for (label, depth, d) in runs.iter().filter(|(l, _, _)| l.ends_with("+overlap")) {
+        let blocking = runs
+            .iter()
+            .find(|(l, qd, _)| {
+                qd == depth && !l.ends_with("+overlap") && l.starts_with("file+sched")
+            })
+            .map(|(_, _, b)| b.io_wait_virtual_us)
+            .expect("every overlap row has a blocking twin at its depth");
+        let _ = writeln!(
+            out,
+            "{label}: io_wait_virtual {}µs vs blocking {}µs, overlap-served {}",
+            d.io_wait_virtual_us, blocking, d.overlap_hits
+        );
+    }
+    let n_identity = runs
+        .iter()
+        .filter(|(l, _, _)| !l.ends_with("+overlap"))
+        .count();
     let _ = writeln!(
         out,
-        "all {} backends served identical page streams; timings in the JSON report only",
-        runs.len()
+        "all {n_identity} blocking backends served identical page streams; \
+         timings in the JSON report only",
     );
 
     // Timed pass (real clock — modeled waits slept), best of
@@ -403,13 +477,17 @@ pub fn run(
         let wall = match (label.as_str(), *depth) {
             ("disksim", _) => {
                 bed.index.disk().reset_stats();
-                let w = timed_best(&bed, &seqs, frames, || Ok(Arc::clone(bed.index.disk())))?;
+                let w = timed_best(&bed, &seqs, frames, false, || {
+                    Ok(Arc::clone(bed.index.disk()))
+                })?;
                 bed.index.disk().reset_stats();
                 w
             }
-            ("file", _) => timed_best(&bed, &seqs, frames, || open(FileMode::Buffered))?,
-            ("file-resident", _) => timed_best(&bed, &seqs, frames, || open(FileMode::Resident))?,
-            (_, depth) => timed_best(&bed, &seqs, frames, || {
+            ("file", _) => timed_best(&bed, &seqs, frames, false, || open(FileMode::Buffered))?,
+            ("file-resident", _) => {
+                timed_best(&bed, &seqs, frames, false, || open(FileMode::Resident))?
+            }
+            (l, depth) => timed_best(&bed, &seqs, frames, l.ends_with("+overlap"), || {
                 Ok(Arc::new(sched(
                     open(FileMode::Buffered)?,
                     depth as usize,
@@ -448,6 +526,69 @@ pub fn run(
     Ok((out, report))
 }
 
+/// The `--gate-overlap` check: at every queue depth >= 4 in the sweep,
+/// the split-phase overlap row must have served some reads out of
+/// in-flight submissions (`overlap_hits > 0`) and waited no longer on
+/// the deterministic virtual clock than the blocking row at the same
+/// depth. Returns a human-readable summary on success and the list of
+/// violations otherwise.
+pub fn gate_overlap(report: &StorageReport) -> Result<String, Vec<String>> {
+    use std::fmt::Write as _;
+    let mut summary = String::new();
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for overlap in report
+        .rows
+        .iter()
+        .filter(|r| r.backend.ends_with("+overlap") && r.queue_depth >= 4)
+    {
+        let Some(blocking) = report.rows.iter().find(|r| {
+            r.queue_depth == overlap.queue_depth
+                && r.backend.starts_with("file+sched")
+                && !r.backend.ends_with("+overlap")
+        }) else {
+            problems.push(format!(
+                "{}: no blocking row at depth {} to compare against",
+                overlap.backend, overlap.queue_depth
+            ));
+            continue;
+        };
+        checked += 1;
+        if overlap.overlap_hits == 0 {
+            problems.push(format!(
+                "{}: overlap-served reads are 0 — the split-phase loop \
+                 never found a submission in flight",
+                overlap.backend
+            ));
+        }
+        if overlap.io_wait_virtual_us > blocking.io_wait_virtual_us {
+            problems.push(format!(
+                "{}: waited {}µs on the virtual clock, more than the blocking \
+                 path's {}µs at the same depth — overlap made things worse",
+                overlap.backend, overlap.io_wait_virtual_us, blocking.io_wait_virtual_us
+            ));
+        } else {
+            let _ = writeln!(
+                summary,
+                "qd{}: overlap waits {}µs vs blocking {}µs ({} overlap-served reads)",
+                overlap.queue_depth,
+                overlap.io_wait_virtual_us,
+                blocking.io_wait_virtual_us,
+                overlap.overlap_hits
+            );
+        }
+    }
+    if checked == 0 {
+        problems
+            .push("no overlap row at depth >= 4 — run the sweep with a deeper queue".to_string());
+    }
+    if problems.is_empty() {
+        Ok(summary)
+    } else {
+        Err(problems)
+    }
+}
+
 /// Serializes a storage report as JSON.
 pub fn to_json(report: &StorageReport) -> String {
     serde_json::to_string(report).expect("storage report serialization cannot fail")
@@ -466,7 +607,11 @@ mod tests {
             !out1.contains("wall"),
             "no wall-clock output on stdout: {out1}"
         );
-        assert_eq!(rep1.rows.len(), 5, "disksim + 2 file modes + 2 depths");
+        assert_eq!(
+            rep1.rows.len(),
+            6,
+            "disksim + 2 file modes + 2 depths + overlap twin at qd4"
+        );
         assert_eq!(rep1.schema_version, SCHEMA_VERSION);
         for (a, b) in rep1.rows.iter().zip(&rep2.rows) {
             assert_eq!(a.backend, b.backend);
@@ -474,11 +619,16 @@ mod tests {
             assert_eq!(a.entries, b.entries);
             assert_eq!(a.io_wait_virtual_us, b.io_wait_virtual_us);
         }
-        // Identity across backends: same served reads and pool hits
-        // everywhere; unscheduled and serial backends do no
-        // speculative device reads on top.
+        // Identity across blocking backends: same served reads and
+        // pool hits everywhere; unscheduled and serial backends do no
+        // speculative device reads on top. Overlap rows run a
+        // different (pipelined) evaluation loop and are exempt.
         let first = &rep1.rows[0];
-        for r in &rep1.rows {
+        for r in rep1
+            .rows
+            .iter()
+            .filter(|r| !r.backend.ends_with("+overlap"))
+        {
             assert_eq!(r.reads, first.reads, "{}", r.backend);
             assert_eq!(r.pool_hits, first.pool_hits, "{}", r.backend);
             if r.queue_depth <= 1 {
@@ -489,14 +639,14 @@ mod tests {
             }
         }
         // The deeper queue waits deterministically less.
-        let wait = |qd: u64| {
+        let wait = |backend: &str| {
             rep1.rows
                 .iter()
-                .find(|r| r.queue_depth == qd)
+                .find(|r| r.backend == backend)
                 .unwrap()
                 .io_wait_virtual_us
         };
-        assert!(wait(4) < wait(1));
+        assert!(wait("file+sched[qd4]") < wait("file+sched[qd1]"));
         // And the scheduled rows actually overlapped something.
         assert!(
             rep1.rows
@@ -504,9 +654,29 @@ mod tests {
                 .any(|r| r.queue_depth >= 4 && r.overlap_hits > 0),
             "prefetch never hit"
         );
+        // The split-phase row shadows waits the blocking loop pays for,
+        // which is exactly what `gate_overlap` enforces.
+        let overlap = rep1
+            .rows
+            .iter()
+            .find(|r| r.backend == "file+sched[qd4]+overlap")
+            .expect("overlap twin at qd4");
+        assert!(overlap.overlap_hits > 0, "split-phase never overlapped");
+        assert!(overlap.io_wait_virtual_us <= wait("file+sched[qd4]"));
+        gate_overlap(&rep1).expect("the sweep must pass its own gate");
         let json = to_json(&rep1);
-        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"schema_version\":2"));
         assert!(json.contains("\"io_wait_virtual_us\""));
+        assert!(json.contains("\"prefetch_evicted\""));
+    }
+
+    #[test]
+    fn overlap_gate_rejects_reports_without_a_qualifying_pair() {
+        let (_, shallow) = run(1.0 / 32.0, &[1], 200, 50).unwrap();
+        assert!(
+            gate_overlap(&shallow).is_err(),
+            "a depth-1 sweep has nothing to gate"
+        );
     }
 
     #[test]

@@ -101,9 +101,13 @@ impl BooleanQuery {
                 if entry.n_pages > 0 {
                     // Safe evaluation reads the whole list: one
                     // full-list plan per term. Boolean queries carry no
-                    // term weights, so the entries are unhinted.
+                    // term weights, so the entries are unhinted. The
+                    // plan goes through the split-phase protocol
+                    // back-to-back, which a blocking buffer serves
+                    // exactly like the old `fetch_batch` call.
                     let plan = ReadPlan::for_term_pages(id, entry.n_pages, None);
-                    let fetched = buffer.fetch_batch(&plan)?;
+                    let handle = buffer.submit_batch(plan)?;
+                    let fetched = buffer.complete(handle)?;
                     stats.batches_issued += 1;
                     for (page, how) in &fetched {
                         stats.pages_processed += 1;

@@ -5,7 +5,7 @@ use crate::accumulator::Accumulators;
 use crate::query::QueryTerm;
 use ir_observe::{Span, SpanKind};
 use ir_storage::{FetchOutcome, Page, QueryBuffer};
-use ir_types::{IrResult, ReadPlan};
+use ir_types::{BatchHandle, IrResult, PageId, PlanEntry, ReadPlan, TermId};
 use std::cell::RefCell;
 
 thread_local! {
@@ -32,51 +32,51 @@ pub(crate) struct ScanOutcome {
     pub entries: u64,
 }
 
-/// Scans `term`'s list in frequency order, accumulating partial
-/// similarities under `f_ins` / `f_add`, terminating at the first entry
-/// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
-/// touched (step 4(c)v). When `parent` is given, the scan reports
-/// itself as a `list-read` span beneath it.
+/// Builds the scan's [`ReadPlan`]s for pages `[0, plan_pages)`, each
+/// entry hinted with `w_{q,t}`.
 ///
-/// The whole term is issued as **one** [`ReadPlan`] of `plan_pages`
-/// pages, each hinted with `w_{q,t}` so hint-aware policies can value
-/// the page at admission. The caller sizes the plan from the conversion
-/// table (§3.2.2), which is exact: under frequency ordering the page
-/// holding the first entry with `f ≤ f_add` is the plan's last page;
-/// under doc ordering the plan covers the full list. Batching therefore
-/// fetches exactly the pages the old page-at-a-time loop did, in the
-/// same order.
+/// With no alignment (`align` is `None`) the whole prefix is one plan.
+/// When the buffer routes term chunks of `c` pages to distinct shards,
+/// the prefix is split at multiples of `c`: every sub-plan then sits
+/// inside a single routing chunk, so a sharded pool serves it on the
+/// owning shard's lock-light path with zero cross-shard batch splits.
+fn chunk_plans(term: TermId, plan_pages: u32, w_q: f64, align: Option<u32>) -> Vec<ReadPlan> {
+    match align {
+        Some(c) if c > 0 && plan_pages > c => {
+            let mut plans = Vec::with_capacity(plan_pages.div_ceil(c) as usize);
+            let mut start = 0u32;
+            while start < plan_pages {
+                let end = (start + c).min(plan_pages);
+                plans.push(
+                    (start..end)
+                        .map(|p| PlanEntry::hinted(PageId::new(term, p), w_q))
+                        .collect(),
+                );
+                start = end;
+            }
+            plans
+        }
+        _ => vec![ReadPlan::for_term_pages(term, plan_pages, Some(w_q))],
+    }
+}
+
+/// The posting-processing core shared by every scan entry point: folds
+/// one completed batch into `out` / `accs` / `s_max`. Returns `true`
+/// when the frequency-ordered early stop fired and the scan is done.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn scan_term<B: QueryBuffer>(
-    buffer: &mut B,
+fn process_fetched(
+    fetched: &[(Page, FetchOutcome)],
+    last_chunk: bool,
+    out: &mut ScanOutcome,
     accs: &mut Accumulators,
     s_max: &mut f64,
     term: &QueryTerm,
+    w_q: f64,
     f_ins: f64,
     f_add: f64,
     early_stop: bool,
-    plan_pages: u32,
-    parent: Option<&Span>,
-) -> IrResult<ScanOutcome> {
-    let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
-    let mut out = ScanOutcome::default();
-    let w_q = term.weight();
-    let plan = ReadPlan::for_term_pages(term.term, plan_pages, Some(w_q));
-    // Per-call outcome attribution: each plan entry reports whether it
-    // was served from this caller's frames, a sibling's, or disk — so
-    // the counts stay per-query even when other sessions drive the
-    // same pool concurrently (pool-wide miss deltas don't).
-    // Let a latency-modeling store start the plan's tail transfers
-    // before the demand batch arrives; a no-op for every in-memory
-    // store, so the event stream is untouched.
-    buffer.prefetch(&plan);
-    let mut fetched = FETCH_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
-    if let Err(e) = buffer.fetch_batch_into(&plan, &mut fetched) {
-        fetched.clear();
-        FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
-        return Err(e);
-    }
-    'pages: for (i, (page, how)) in fetched.iter().enumerate() {
+) -> bool {
+    for (i, (page, how)) in fetched.iter().enumerate() {
         out.pages_processed += 1;
         match how {
             FetchOutcome::Miss => out.pages_read += 1,
@@ -91,8 +91,11 @@ pub(crate) fn scan_term<B: QueryBuffer>(
                     // Frequency ordering: nothing further in this list
                     // can pass the addition threshold — and the plan
                     // was sized so this entry sits on its last page.
-                    debug_assert_eq!(i + 1, fetched.len(), "plan over-covered the scan");
-                    break 'pages;
+                    debug_assert!(
+                        last_chunk && i + 1 == fetched.len(),
+                        "plan over-covered the scan"
+                    );
+                    return true;
                 }
                 // Doc ordering: the entry is filtered, but later ones
                 // may still pass — keep scanning (footnote 14).
@@ -111,6 +114,124 @@ pub(crate) fn scan_term<B: QueryBuffer>(
             }
         }
     }
+    false
+}
+
+/// Scans `term`'s list in frequency order, accumulating partial
+/// similarities under `f_ins` / `f_add`, terminating at the first entry
+/// with `f_{d,t} ≤ f_add`. Updates `s_max` whenever an accumulator is
+/// touched (step 4(c)v). When `parent` is given, the scan reports
+/// itself as a `list-read` span beneath it.
+///
+/// The term is issued as a short sequence of [`ReadPlan`]s covering
+/// pages `[0, plan_pages)` in order — one plan when the buffer reports
+/// no [`plan_alignment`](QueryBuffer::plan_alignment), else one per
+/// routing chunk — each run through the split-phase
+/// [`submit_batch`](QueryBuffer::submit_batch) /
+/// [`complete`](QueryBuffer::complete) protocol back to back, which a
+/// blocking buffer serves identically to the old `fetch_batch` call.
+/// Every entry is hinted with `w_{q,t}` so hint-aware policies can
+/// value the page at admission. The caller sizes the plan from the
+/// conversion table (§3.2.2), which is exact: under frequency ordering
+/// the page holding the first entry with `f ≤ f_add` is the last
+/// plan's last page; under doc ordering the plans cover the full list.
+/// Batching therefore fetches exactly the pages the old page-at-a-time
+/// loop did, in the same order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_term<B: QueryBuffer>(
+    buffer: &mut B,
+    accs: &mut Accumulators,
+    s_max: &mut f64,
+    term: &QueryTerm,
+    f_ins: f64,
+    f_add: f64,
+    early_stop: bool,
+    plan_pages: u32,
+    parent: Option<&Span>,
+) -> IrResult<ScanOutcome> {
+    let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
+    let mut out = ScanOutcome::default();
+    let w_q = term.weight();
+    let plans = chunk_plans(term.term, plan_pages, w_q, buffer.plan_alignment());
+    let last = plans.len() - 1;
+    // Per-call outcome attribution: each plan entry reports whether it
+    // was served from this caller's frames, a sibling's, or disk — so
+    // the counts stay per-query even when other sessions drive the
+    // same pool concurrently (pool-wide miss deltas don't).
+    let mut fetched = FETCH_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    let mut failed = None;
+    for (ci, plan) in plans.into_iter().enumerate() {
+        // Submission also hands a latency-modeling store the plan's
+        // tail, letting it start those transfers before the demand
+        // reads arrive; a no-op for every in-memory store, so the
+        // event stream is untouched.
+        let done = match buffer
+            .submit_batch(plan)
+            .and_then(|h| buffer.complete_into(h, &mut fetched))
+        {
+            Ok(()) => process_fetched(
+                &fetched,
+                ci == last,
+                &mut out,
+                accs,
+                s_max,
+                term,
+                w_q,
+                f_ins,
+                f_add,
+                early_stop,
+            ),
+            Err(e) => {
+                failed = Some(e);
+                true
+            }
+        };
+        if done {
+            break;
+        }
+    }
+    fetched.clear();
+    FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    if let Some(s) = span.as_mut() {
+        s.attr("pages_processed", i64::from(out.pages_processed));
+        s.attr("pages_read", i64::from(out.pages_read));
+        s.attr("entries", out.entries as i64);
+    }
+    Ok(out)
+}
+
+/// [`scan_term`] for a plan the caller already submitted: completes
+/// `handle` and processes its pages as a single chunk. This is the
+/// overlap-mode entry point — the BAF loop submits the next term's
+/// plan before completing the current one, so by the time this runs
+/// the transfers have been shadowing evaluation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_submitted<B: QueryBuffer>(
+    buffer: &mut B,
+    handle: BatchHandle,
+    accs: &mut Accumulators,
+    s_max: &mut f64,
+    term: &QueryTerm,
+    f_ins: f64,
+    f_add: f64,
+    early_stop: bool,
+    parent: Option<&Span>,
+) -> IrResult<ScanOutcome> {
+    let mut span = parent.map(|p| p.child(SpanKind::ListRead, format!("term:{}", term.term.0)));
+    let mut out = ScanOutcome::default();
+    let w_q = term.weight();
+    let mut fetched = FETCH_SCRATCH.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    if let Err(e) = buffer.complete_into(handle, &mut fetched) {
+        fetched.clear();
+        FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
+        return Err(e);
+    }
+    process_fetched(
+        &fetched, true, &mut out, accs, s_max, term, w_q, f_ins, f_add, early_stop,
+    );
     fetched.clear();
     FETCH_SCRATCH.with(|c| *c.borrow_mut() = fetched);
     if let Some(s) = span.as_mut() {
@@ -256,6 +377,64 @@ mod tests {
             .find(|h| h.name == "buffer.batch_pages")
             .unwrap();
         assert_eq!((h.count, h.sum), (1, 2), "one plan covering two pages");
+    }
+
+    #[test]
+    fn plans_split_at_routing_chunk_boundaries() {
+        let plans = chunk_plans(TermId(7), 10, 1.5, Some(4));
+        let sizes: Vec<usize> = plans.iter().map(ReadPlan::len).collect();
+        assert_eq!(sizes, [4, 4, 2]);
+        // Together the chunks are exactly the prefix plan, in order.
+        let joined: Vec<_> = plans
+            .iter()
+            .flat_map(|p| p.entries().iter().copied())
+            .collect();
+        let whole = ReadPlan::for_term_pages(TermId(7), 10, Some(1.5));
+        assert_eq!(joined, whole.entries());
+    }
+
+    #[test]
+    fn short_or_unaligned_scans_stay_one_plan() {
+        assert_eq!(chunk_plans(TermId(0), 4, 1.0, Some(4)).len(), 1);
+        assert_eq!(chunk_plans(TermId(0), 10, 1.0, None).len(), 1);
+    }
+
+    #[test]
+    fn sharded_scan_issues_no_cross_shard_batches() {
+        use ir_storage::ShardedBufferPool;
+        use std::sync::Arc;
+
+        // 24 postings, 2 per page → 12 pages, far more than the 4-page
+        // routing chunk: an unaligned plan would straddle shards.
+        let postings: Vec<Posting> = (0..24).map(|d| Posting::new(d, 30 - d)).collect();
+        let pages: Vec<Page> = postings
+            .chunks(2)
+            .enumerate()
+            .map(|(i, c)| Page::new(PageId::new(TermId(0), i as u32), c.to_vec().into(), 2.0))
+            .collect();
+        let n_pages = pages.len() as u32;
+        let disk = Arc::new(DiskSim::new(vec![pages]));
+        let mut pool =
+            ShardedBufferPool::with_chunk_pages(disk, 32, PolicyKind::Lru, 4, 4).unwrap();
+        let term = QueryTerm {
+            term: TermId(0),
+            query_freq: 1,
+            idf: 2.0,
+            f_max: 30,
+            n_pages,
+        };
+        let mut accs = Accumulators::new();
+        let mut s_max = 0.0;
+        let out = scan_term(
+            &mut pool, &mut accs, &mut s_max, &term, 0.0, 0.0, true, n_pages, None,
+        )
+        .unwrap();
+        assert_eq!(out.pages_processed, n_pages);
+        assert_eq!(
+            pool.metrics().batch_splits.get(),
+            0,
+            "chunk-aligned plans must never straddle shards"
+        );
     }
 
     #[test]

@@ -372,6 +372,57 @@ impl QueryBuffer for SessionBuffer {
         }
     }
 
+    fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<ir_types::BatchHandle> {
+        // Forwarded so the overlap loop's submissions reach the real
+        // pool instead of the trait's blocking default.
+        match self {
+            SessionBuffer::Shared(p) => p.submit_batch(plan),
+            SessionBuffer::GlobalShared { pool, .. } => pool.submit_batch(plan),
+            SessionBuffer::Partition(h) => h.submit_batch(plan),
+            SessionBuffer::Sharded(p) => QueryBuffer::submit_batch(p, plan),
+        }
+    }
+
+    fn complete_into(
+        &mut self,
+        handle: ir_types::BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        match self {
+            SessionBuffer::Shared(p) => p.complete_into(handle, out),
+            SessionBuffer::GlobalShared { pool, .. } => pool.complete_into(handle, out),
+            SessionBuffer::Partition(h) => h.complete_into(handle, out),
+            SessionBuffer::Sharded(p) => QueryBuffer::complete_into(p, handle, out),
+        }
+    }
+
+    fn cancel_batch(&mut self, handle: ir_types::BatchHandle) {
+        match self {
+            SessionBuffer::Shared(p) => p.cancel_batch(handle),
+            SessionBuffer::GlobalShared { pool, .. } => pool.cancel_batch(handle),
+            SessionBuffer::Partition(h) => h.cancel_batch(handle),
+            SessionBuffer::Sharded(p) => QueryBuffer::cancel_batch(p, handle),
+        }
+    }
+
+    fn overlap_depth(&self) -> usize {
+        match self {
+            SessionBuffer::Shared(p) => p.overlap_depth(),
+            SessionBuffer::GlobalShared { pool, .. } => pool.overlap_depth(),
+            SessionBuffer::Partition(h) => h.overlap_depth(),
+            SessionBuffer::Sharded(p) => QueryBuffer::overlap_depth(p),
+        }
+    }
+
+    fn plan_alignment(&self) -> Option<u32> {
+        match self {
+            SessionBuffer::Shared(p) => p.plan_alignment(),
+            SessionBuffer::GlobalShared { pool, .. } => pool.plan_alignment(),
+            SessionBuffer::Partition(h) => h.plan_alignment(),
+            SessionBuffer::Sharded(p) => QueryBuffer::plan_alignment(p),
+        }
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         match self {
             SessionBuffer::Shared(p) => p.resident_pages(term),
@@ -757,6 +808,15 @@ impl<'a> SessionServer<'a> {
                 )
             }),
             ServerPool::Sharded(p) => {
+                // Replay every shard's deferred hit effects before
+                // snapshotting: the lock-light fast path parks policy
+                // and observer work in `pending_hits`, so a rollup
+                // taken without draining it reports stale policy state
+                // — the adaptive stats below come from policy `on_hit`
+                // callbacks that have not run yet. The buffer counters
+                // themselves are eager; quiescing keeps the whole
+                // report one consistent snapshot.
+                p.quiesce();
                 let metrics = p.metrics();
                 // The histogram is nanosecond-resolution (sub-µs shard
                 // waits used to truncate to 0); the report stays in µs.
@@ -1215,6 +1275,37 @@ mod tests {
                 "{layout:?}: shadow experts must observe hits"
             );
         }
+    }
+
+    #[test]
+    fn sharded_report_is_a_quiesced_snapshot() {
+        // The rollup quiesces the pool before snapshotting, so the
+        // report is one consistent picture: counter conservation holds
+        // per shard (and therefore in the summed pool stats), and no
+        // lock-light hit is still sitting in a shard's deferred queue
+        // with its policy effects unapplied.
+        let idx = index();
+        let report = SessionServer::new(
+            &idx,
+            PoolLayout::Sharded {
+                total_frames: 12,
+                policy: PolicyKind::Adaptive,
+                shards: 2,
+            },
+        )
+        .run(&specs(&idx), Schedule::RoundRobin)
+        .unwrap();
+        let s = &report.pool_stats;
+        assert_eq!(
+            s.hits + s.misses,
+            s.requests,
+            "hits+misses==requests must hold in the report"
+        );
+        assert!(s.hits > 0, "warm rounds must produce lock-light hits");
+        // The adaptive policy only observes a hit when its deferred
+        // effects replay; a non-quiesced rollup reports fewer shadow
+        // observations than served hits.
+        assert!(report.adaptive.is_active());
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::disk::PageStore;
 use crate::page::Page;
 use ir_observe::{Counter, Gauge, Histogram, IO_LATENCY_US_BOUNDS};
-use ir_types::{ClockKind, CompletionToken, IrResult, PageId, ReadPlan, TermId};
+use ir_types::{ClockKind, CompletionToken, IrResult, PageId, ReadHandle, ReadPlan, TermId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
@@ -105,6 +105,14 @@ pub struct IoMetrics {
     /// Cumulative modeled wait imposed on callers, µs (slept under the
     /// real clock, accounted under the virtual one).
     pub io_wait_us: Counter,
+    /// Completions pushed out of the bounded prefetch cache by newer
+    /// submissions before any demand read claimed them.
+    pub prefetch_evicted: Counter,
+    /// Prefetched pages whose device read never served a demand from
+    /// the cache: capacity evictions plus copies discarded by the
+    /// torn-page re-verification. Each one is a speculative read the
+    /// device performed for nothing.
+    pub prefetch_wasted: Counter,
 }
 
 impl IoMetrics {
@@ -115,6 +123,8 @@ impl IoMetrics {
             overlap_hits: Counter::new(),
             demand_reads: Counter::new(),
             io_wait_us: Counter::new(),
+            prefetch_evicted: Counter::new(),
+            prefetch_wasted: Counter::new(),
         };
         m.queue_depth.set(queue_depth as i64);
         m
@@ -244,6 +254,9 @@ impl<S: PageStore> IoScheduler<S> {
             // the request falls through to a fresh demand read.
             if self.inner.can_tear() && cached.as_ref().is_some_and(|pf| !pf.page.is_intact()) {
                 cached = None;
+                // The speculative read bought nothing: the demand read
+                // below re-reads the page from the device.
+                self.metrics.prefetch_wasted.inc();
             }
             if let Some(pf) = cached {
                 self.metrics.overlap_hits.inc();
@@ -286,6 +299,77 @@ impl<S: PageStore> IoScheduler<S> {
         }
         out
     }
+
+    /// The one staging routine behind both `prefetch` (handles
+    /// discarded) and `submit` (handles surfaced): reads `ids` ahead of
+    /// demand, parks the completions in the bounded cache, and prices
+    /// the transfers without charging anyone a wait. No-op at depth 1 —
+    /// a serial disk has no spare channel to read ahead on, which is
+    /// what makes the split-phase path provably identical to the
+    /// blocking one there.
+    fn stage(&self, ids: &[PageId]) -> Vec<ReadHandle> {
+        if self.config.queue_depth <= 1 || ids.is_empty() {
+            return Vec::new();
+        }
+        let issued_at = match self.config.clock {
+            ClockKind::Real => Some(Instant::now()),
+            ClockKind::Virtual => None,
+        };
+        let mut handles = Vec::new();
+        let mut state = self.state.lock();
+        let mut channels = vec![0u64; self.config.queue_depth];
+        let mut next_ch = 0usize;
+        for &id in ids {
+            if state.cache.contains_key(&id) {
+                continue;
+            }
+            let Ok(page) = self.inner.read_page(id) else {
+                // Don't cache failures; the demand read will hit the
+                // same error and report it through the normal path.
+                break;
+            };
+            if self.inner.can_tear() && !page.is_intact() {
+                // A torn copy must never enter the completion cache —
+                // served from there it would skip the per-read
+                // fault/checksum path direct reads get. The head still
+                // moved, so pricing classification advances; the
+                // demand read re-runs the store's fault machinery.
+                let _ = Self::classify(&mut state.last, id);
+                self.metrics.prefetch_wasted.inc();
+                continue;
+            }
+            let sequential = Self::classify(&mut state.last, id);
+            let ch = next_ch % self.config.queue_depth;
+            next_ch += 1;
+            channels[ch] += self.config.model.cost_us(sequential);
+            let token = state.next_token;
+            state.next_token = token.next();
+            if state.order.len() >= PREFETCH_CAP {
+                if let Some(old) = state.order.pop_front() {
+                    state.cache.remove(&old);
+                    self.metrics.prefetch_evicted.inc();
+                    self.metrics.prefetch_wasted.inc();
+                }
+            }
+            let ready_at_us = state.now_us + channels[ch];
+            state.cache.insert(
+                id,
+                Prefetched {
+                    page,
+                    ready_at_us,
+                    cost_us: channels[ch],
+                    issued: issued_at,
+                },
+            );
+            state.order.push_back(id);
+            handles.push(ReadHandle {
+                token,
+                page: id,
+                ready_at_us,
+            });
+        }
+        handles
+    }
 }
 
 impl<S: PageStore> PageStore for IoScheduler<S> {
@@ -316,57 +400,21 @@ impl<S: PageStore> PageStore for IoScheduler<S> {
     /// channel to read ahead on). Read failures are dropped here —
     /// advisory path — and resurface on the demand read.
     fn prefetch(&self, ids: &[PageId]) {
-        if self.config.queue_depth <= 1 || ids.is_empty() {
-            return;
-        }
-        let issued_at = match self.config.clock {
-            ClockKind::Real => Some(Instant::now()),
-            ClockKind::Virtual => None,
-        };
-        let mut state = self.state.lock();
-        let mut channels = vec![0u64; self.config.queue_depth];
-        let mut next_ch = 0usize;
-        for &id in ids {
-            if state.cache.contains_key(&id) {
-                continue;
-            }
-            let Ok(page) = self.inner.read_page(id) else {
-                // Don't cache failures; the demand read will hit the
-                // same error and report it through the normal path.
-                break;
-            };
-            if self.inner.can_tear() && !page.is_intact() {
-                // A torn copy must never enter the completion cache —
-                // served from there it would skip the per-read
-                // fault/checksum path direct reads get. The head still
-                // moved, so pricing classification advances; the
-                // demand read re-runs the store's fault machinery.
-                let _ = Self::classify(&mut state.last, id);
-                continue;
-            }
-            let sequential = Self::classify(&mut state.last, id);
-            let ch = next_ch % self.config.queue_depth;
-            next_ch += 1;
-            channels[ch] += self.config.model.cost_us(sequential);
-            let token = state.next_token;
-            state.next_token = token.next();
-            if state.order.len() >= PREFETCH_CAP {
-                if let Some(old) = state.order.pop_front() {
-                    state.cache.remove(&old);
-                }
-            }
-            let ready_at_us = state.now_us + channels[ch];
-            state.cache.insert(
-                id,
-                Prefetched {
-                    page,
-                    ready_at_us,
-                    cost_us: channels[ch],
-                    issued: issued_at,
-                },
-            );
-            state.order.push_back(id);
-        }
+        let _ = self.stage(ids);
+    }
+
+    /// The split-phase submission path: identical device behavior to
+    /// [`prefetch`](PageStore::prefetch) — this is the *same* staging
+    /// routine — but the completion handles are surfaced instead of
+    /// swallowed by the cache, so a split-phase buffer pool can track
+    /// exactly which transfers are in flight and when the model says
+    /// they land.
+    fn submit(&self, ids: &[PageId]) -> Vec<ReadHandle> {
+        self.stage(ids)
+    }
+
+    fn overlap_depth(&self) -> usize {
+        self.config.queue_depth
     }
 
     fn io_wait_us(&self) -> u64 {
@@ -665,6 +713,92 @@ mod tests {
         );
         assert_eq!(sched.metrics().demand_reads.get(), 1);
         assert!(sched.state.lock().cache.is_empty());
+    }
+
+    #[test]
+    fn submit_surfaces_the_tokens_prefetch_swallows() {
+        let sched = IoScheduler::new(
+            store(4),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel {
+                    seek_us: 100,
+                    transfer_us: 25,
+                },
+                clock: ClockKind::Virtual,
+            },
+        );
+        let handles = sched.submit(&ids(3));
+        assert_eq!(handles.len(), 3, "one handle per scheduled read");
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.token, CompletionToken(i as u64), "submission order");
+            assert_eq!(h.page, pid(0, i as u32));
+        }
+        // Channel math: the random head costs 125 on channel 0, the two
+        // sequential successors 25 each on their own channels.
+        let readies: Vec<u64> = handles.iter().map(|h| h.ready_at_us).collect();
+        assert_eq!(readies, vec![125, 25, 25]);
+        assert_eq!(sched.io_wait_us(), 0, "submission charges no wait");
+        // The staged pages service exactly like prefetched ones.
+        let out = sched.read_pages(&ids(3));
+        assert!(out.iter().all(Result::is_ok));
+        assert_eq!(sched.metrics().overlap_hits.get(), 3);
+        assert_eq!(sched.io_wait_us(), 125, "only the residual is charged");
+        // A failed speculative read schedules nothing and stays silent;
+        // the error would resurface on the demand read.
+        assert!(sched.submit(&[pid(0, 9)]).is_empty(), "bad id: no handle");
+    }
+
+    #[test]
+    fn submit_is_a_no_op_on_a_serial_disk() {
+        let sched = IoScheduler::new(store(4), IoConfig::default());
+        assert_eq!(sched.overlap_depth(), 1);
+        assert!(sched.submit(&ids(3)).is_empty());
+        assert_eq!(sched.inner().stats().reads, 0, "nothing was read");
+        let deep = IoScheduler::new(
+            store(4),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel::ZERO,
+                clock: ClockKind::Virtual,
+            },
+        );
+        assert_eq!(deep.overlap_depth(), 4);
+    }
+
+    #[test]
+    fn cache_evictions_and_waste_are_counted() {
+        let lists = (0..1u32)
+            .map(|t| {
+                (0..(PREFETCH_CAP as u32 + 8))
+                    .map(|p| {
+                        Page::new(
+                            PageId::new(TermId(t), p),
+                            vec![Posting::new(1, 1)].into(),
+                            1.0,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let sched = IoScheduler::new(
+            DiskSim::new(lists),
+            IoConfig {
+                queue_depth: 4,
+                model: LatencyModel::ZERO,
+                clock: ClockKind::Virtual,
+            },
+        );
+        let all: Vec<PageId> = (0..(PREFETCH_CAP as u32 + 8)).map(|p| pid(0, p)).collect();
+        sched.prefetch(&all);
+        assert_eq!(sched.metrics().prefetch_evicted.get(), 8);
+        assert_eq!(sched.metrics().prefetch_wasted.get(), 8);
+        // Serving a surviving entry is not waste.
+        sched
+            .read_page(pid(0, PREFETCH_CAP as u32))
+            .expect("cached page serves");
+        assert_eq!(sched.metrics().overlap_hits.get(), 1);
+        assert_eq!(sched.metrics().prefetch_wasted.get(), 8);
     }
 
     #[test]

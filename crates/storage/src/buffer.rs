@@ -7,7 +7,7 @@ use crate::observe::{BufferEvent, BufferObserver};
 use crate::page::Page;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::stats::{BufferMetrics, BufferStats};
-use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
+use ir_types::{BatchHandle, IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -162,6 +162,13 @@ pub struct BufferManager<S: PageStore> {
     policy: Box<dyn ReplacementPolicy>,
     policy_kind: PolicyKind,
     resident_per_term: TermView,
+    /// Per-term counts of pages a live submission has committed to
+    /// load ([`submit_batch`](Self::submit_batch)) but not yet
+    /// completed. Added on top of `resident_per_term` by
+    /// [`resident_pages`](Self::resident_pages), so `b_t` reflects
+    /// pages already on the wire — empty outside a submit..complete
+    /// window, which keeps the blocking path's answers unchanged.
+    in_flight_per_term: TermView,
     pins: HashMap<PageId, u32>,
     fetch_policy: FetchPolicy,
     metrics: BufferMetrics,
@@ -210,6 +217,7 @@ impl<S: PageStore> BufferManager<S> {
             policy,
             policy_kind: kind,
             resident_per_term: Arc::new(RwLock::new(HashMap::new())),
+            in_flight_per_term: Arc::new(RwLock::new(HashMap::new())),
             pins: HashMap::new(),
             fetch_policy: FetchPolicy::NO_RETRY,
             metrics,
@@ -267,6 +275,14 @@ impl<S: PageStore> BufferManager<S> {
     /// answer resident-page inquiries without the manager's lock.
     pub(crate) fn term_view(&self) -> TermView {
         Arc::clone(&self.resident_per_term)
+    }
+
+    /// A cloneable handle to the in-flight `b_t` counters (pages a
+    /// live submission has committed to load), for wrappers that fold
+    /// them into lock-free resident-page inquiries alongside
+    /// [`term_view`](Self::term_view).
+    pub(crate) fn in_flight_view(&self) -> TermView {
+        Arc::clone(&self.in_flight_per_term)
     }
 
     /// Whether the replacement policy reacts to
@@ -329,10 +345,139 @@ impl<S: PageStore> BufferManager<S> {
         plan: &ReadPlan,
         out: &mut Vec<(Page, FetchOutcome)>,
     ) -> IrResult<()> {
-        out.clear();
+        // The blocking fetch IS the split-phase protocol with no gap:
+        // submit, then immediately complete. With nothing between the
+        // two phases the pins and in-flight counts the submission takes
+        // are invisible (pin/unpin emit no events, and nobody inquires
+        // b_t inside the window), so this composition is
+        // event-identical to the pre-split single-call execution.
+        let handle = self.submit_batch(plan.clone())?;
+        self.complete_into(handle, out)
+    }
+
+    /// Split-phase fetch, submission half. Records the batch metrics,
+    /// pins every distinct plan page (an in-flight page must not be a
+    /// replacement victim while the submission is outstanding), counts
+    /// the distinct non-resident pages toward their term's `b_t`
+    /// ([`resident_pages`](Self::resident_pages) adds them in), and
+    /// hands every distinct non-resident plan page — head included,
+    /// unlike [`prefetch`](Self::prefetch)'s tail-only hint — to
+    /// [`PageStore::submit`] so an overlapping store starts those
+    /// transfers now: a submission's entire cost runs in the shadow
+    /// of whatever the caller does before completing.
+    ///
+    /// For a store that cannot overlap (`PageStore::submit` default,
+    /// or a scheduler at queue depth ≤ 1) submission starts nothing,
+    /// and `submit_batch` + [`complete_into`](Self::complete_into) is
+    /// event-identical to the blocking
+    /// [`fetch_batch_into`](Self::fetch_batch_into).
+    pub fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<BatchHandle> {
         self.metrics.batches.inc();
         self.metrics.batch_pages.record(plan.len() as u64);
-        self.fetch_entries(plan.entries(), out)
+        Ok(self.submit_unmetered(plan))
+    }
+
+    /// [`submit_batch`](Self::submit_batch) without the batch metrics:
+    /// pins, in-flight counts, and store submission only. For wrappers
+    /// (the sharded pool) whose completion path records batch metrics
+    /// itself — their blocking `fetch_batch` attributes batches to the
+    /// lock-light/locked seam, and submission must not double-count.
+    pub(crate) fn submit_unmetered(&mut self, plan: ReadPlan) -> BatchHandle {
+        // A store that cannot overlap makes the submission window
+        // empty: nothing is staged, and the only callers that hold a
+        // handle across other work gate on `overlap_depth() > 1`. Skip
+        // the pin / in-flight bookkeeping entirely — it is pure
+        // per-page overhead on the blocking composition's hot path.
+        if self.store.overlap_depth() <= 1 {
+            return BatchHandle::unscheduled(plan);
+        }
+        let mut handle = BatchHandle::unscheduled(plan);
+        let mut seen: HashSet<PageId> = HashSet::with_capacity(handle.plan.len());
+        for entry in handle.plan.entries() {
+            if !seen.insert(entry.page) {
+                continue;
+            }
+            self.pin(entry.page);
+            handle.pinned.push(entry.page);
+            if !self.is_resident(entry.page) {
+                *self
+                    .in_flight_per_term
+                    .write()
+                    .entry(entry.page.term)
+                    .or_insert(0) += 1;
+                handle.loading.push(entry.page);
+            }
+        }
+        // The whole plan is handed to the store — first page included,
+        // unlike `prefetch`'s tail-only hint: a submission's *entire*
+        // cost should run in the shadow of whatever the caller does
+        // before completing, and an overlap-capable store prices the
+        // demand read as the residual wait either way.
+        if !handle.loading.is_empty() {
+            handle.reads = self.store.submit(&handle.loading);
+        }
+        handle
+    }
+
+    /// Split-phase fetch, completion half: undoes the submission's
+    /// bookkeeping (in-flight `b_t` counts come off, pins come off —
+    /// **before** the fetches, so eviction pressure inside the batch
+    /// behaves exactly as in the blocking path), then serves every
+    /// plan entry in order through the same execution loop
+    /// [`fetch_batch_into`](Self::fetch_batch_into) uses. Transient
+    /// faults and torn pages are retried here under the pool's
+    /// [`FetchPolicy`], exactly as a blocking fetch would.
+    pub fn complete_into(
+        &mut self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        self.settle_submission(&handle);
+        out.clear();
+        self.fetch_entries(handle.plan.entries(), out)
+    }
+
+    /// [`complete_into`](Self::complete_into) allocating its result.
+    pub fn complete(&mut self, handle: BatchHandle) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        let mut out = Vec::with_capacity(handle.len());
+        self.complete_into(handle, &mut out)?;
+        Ok(out)
+    }
+
+    /// Abandons a submission: releases its pins and in-flight counts
+    /// without fetching anything. Reads the store already started are
+    /// not recalled; a latency-modeling store ages them out of its
+    /// staging cache as wasted prefetches.
+    pub fn cancel_batch(&mut self, handle: BatchHandle) {
+        self.settle_submission(&handle);
+    }
+
+    /// Releases a submission's bookkeeping: in-flight `b_t` counts and
+    /// pins, in that order. Shared by completion and cancellation (and
+    /// by the sharded pool, which settles under the owning shard's
+    /// lock before running its own completion path).
+    pub(crate) fn settle_submission(&mut self, handle: &BatchHandle) {
+        {
+            let mut in_flight = self.in_flight_per_term.write();
+            for id in &handle.loading {
+                if let Some(count) = in_flight.get_mut(&id.term) {
+                    *count -= 1;
+                    if *count == 0 {
+                        in_flight.remove(&id.term);
+                    }
+                }
+            }
+        }
+        for id in &handle.pinned {
+            self.unpin(*id);
+        }
+    }
+
+    /// How many reads the underlying store can usefully keep in
+    /// flight: 1 for synchronous stores, the queue depth for a
+    /// latency-modeling scheduler.
+    pub fn overlap_depth(&self) -> usize {
+        self.store.overlap_depth()
     }
 
     /// Hints the store about the tail of `plan` so a latency-modeling
@@ -619,15 +764,28 @@ impl<S: PageStore> BufferManager<S> {
         Ok(())
     }
 
-    /// `b_t`: number of pages of `term`'s inverted list currently in the
-    /// pool. O(1).
+    /// `b_t`: number of pages of `term`'s inverted list currently in
+    /// the pool — plus pages a live submission has committed to load
+    /// ([`submit_batch`](Self::submit_batch)): a page on the wire is
+    /// as good as resident to a term selector deciding what to read
+    /// next, because demanding it costs only the residual wait.
+    /// Outside a submit..complete window the in-flight term is zero
+    /// and this is exactly the resident count. O(1).
     #[inline]
     pub fn resident_pages(&self, term: TermId) -> u32 {
-        self.resident_per_term
+        let resident = self
+            .resident_per_term
             .read()
             .get(&term)
             .copied()
-            .unwrap_or(0)
+            .unwrap_or(0);
+        let loading = self
+            .in_flight_per_term
+            .read()
+            .get(&term)
+            .copied()
+            .unwrap_or(0);
+        resident + loading
     }
 
     /// Is a specific page resident?
@@ -705,6 +863,7 @@ impl<S: PageStore> BufferManager<S> {
     pub fn flush(&mut self) {
         self.frames.write().clear();
         self.resident_per_term.write().clear();
+        self.in_flight_per_term.write().clear();
         self.policy.clear();
         self.pins.clear();
         self.notify(BufferEvent::Flush);
@@ -793,6 +952,32 @@ mod tests {
 
     fn pid(t: u32, p: u32) -> PageId {
         PageId::new(TermId(t), p)
+    }
+
+    /// Forwards to the inner store but advertises a 2-deep overlap
+    /// window, so submission's pin / in-flight bookkeeping runs
+    /// without a latency model. `submit` keeps the trait default
+    /// (schedules nothing) — like a scheduler with an empty queue —
+    /// so "a synchronous store starts nothing" assertions still hold.
+    #[derive(Debug)]
+    struct Overlapping<S>(S);
+
+    impl<S: PageStore> PageStore for Overlapping<S> {
+        fn read_page(&self, id: PageId) -> IrResult<Page> {
+            self.0.read_page(id)
+        }
+
+        fn list_len(&self, term: TermId) -> Option<u32> {
+            self.0.list_len(term)
+        }
+
+        fn n_lists(&self) -> usize {
+            self.0.n_lists()
+        }
+
+        fn overlap_depth(&self) -> usize {
+            2
+        }
     }
 
     #[test]
@@ -1431,6 +1616,74 @@ mod tests {
             1,
             "rejected batch entry must not read the store"
         );
+    }
+
+    #[test]
+    fn submit_pins_and_counts_in_flight_until_complete() {
+        let mut bm = BufferManager::new(Overlapping(store(1, 4)), 4, PolicyKind::Lru).unwrap();
+        bm.fetch(pid(0, 0)).unwrap(); // resident ahead of the submission
+        let plan = ReadPlan::for_term_pages(TermId(0), 3, None);
+        let handle = bm.submit_batch(plan).unwrap();
+        // Every distinct plan page is pinned; only the two
+        // not-yet-resident ones count as in-flight.
+        assert_eq!(handle.pinned.len(), 3);
+        assert_eq!(handle.loading, vec![pid(0, 1), pid(0, 2)]);
+        assert_eq!(bm.pin_count(pid(0, 0)), 1);
+        assert_eq!(bm.pin_count(pid(0, 2)), 1);
+        assert_eq!(
+            bm.resident_pages(TermId(0)),
+            3,
+            "b_t counts in-flight pages"
+        );
+        // A store with an empty submission queue starts nothing.
+        assert_eq!(bm.store().0.stats().reads, 1);
+        let out = bm.complete(handle).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(bm.pin_count(pid(0, 0)), 0, "pins come off at completion");
+        assert_eq!(bm.resident_pages(TermId(0)), 3, "now actually resident");
+        assert_eq!(bm.store().0.stats().reads, 3);
+    }
+
+    #[test]
+    fn split_phase_composition_matches_blocking_fetch() {
+        // Flooding workload, the hard case: capacity 3, two passes over
+        // 4 pages. The submission pins all four distinct pages, so the
+        // unpin-before-fetch order inside complete is what keeps the
+        // eviction cascade (and hence every counter) identical.
+        let mut plan = ReadPlan::new();
+        for _ in 0..2 {
+            for p in 0..4 {
+                plan.push(PlanEntry::new(pid(0, p)));
+            }
+        }
+        let mut blocking = BufferManager::new(store(1, 4), 3, PolicyKind::Lru).unwrap();
+        let blocked = blocking.fetch_batch(&plan).unwrap();
+        let mut split = BufferManager::new(store(1, 4), 3, PolicyKind::Lru).unwrap();
+        let handle = split.submit_batch(plan).unwrap();
+        let served = split.complete(handle).unwrap();
+        assert_eq!(served.len(), blocked.len());
+        assert_eq!(split.stats(), blocking.stats());
+        assert_eq!(split.store().stats(), blocking.store().stats());
+        assert_eq!(split.resident_ids(), blocking.resident_ids());
+        assert_eq!(split.metrics().batches.get(), 1);
+        assert_eq!(split.metrics().batch_pages.sum(), 8);
+    }
+
+    #[test]
+    fn cancel_releases_pins_without_fetching() {
+        let mut bm = BufferManager::new(Overlapping(store(1, 4)), 2, PolicyKind::Lru).unwrap();
+        let handle = bm
+            .submit_batch(ReadPlan::for_term_pages(TermId(0), 2, None))
+            .unwrap();
+        assert_eq!(bm.resident_pages(TermId(0)), 2, "in-flight only");
+        bm.cancel_batch(handle);
+        assert_eq!(bm.resident_pages(TermId(0)), 0);
+        assert_eq!(bm.pin_count(pid(0, 0)), 0);
+        assert_eq!(bm.store().0.stats().reads, 0, "cancellation reads nothing");
+        // The batch was recorded at submission; no request ever ran.
+        assert_eq!(bm.metrics().batches.get(), 1);
+        assert_eq!(bm.stats().requests, 0);
+        assert!(bm.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the workspace.
 
 use crate::page::Page;
-use ir_types::{IrError, IrResult, PageId, TermId};
+use ir_types::{IrError, IrResult, PageId, ReadHandle, TermId};
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -63,6 +63,28 @@ pub trait PageStore {
     /// saves nothing — does nothing. Advisory only: errors are *not*
     /// reported here, they surface on the demand read.
     fn prefetch(&self, _ids: &[PageId]) {}
+
+    /// Split-phase submission: starts asynchronous reads of `ids` and
+    /// returns one [`ReadHandle`] per read the store actually
+    /// scheduled, each carrying its completion token and modeled
+    /// ready time. Same advisory contract as
+    /// [`prefetch`](Self::prefetch) — errors surface on the demand
+    /// read — but completions are *surfaced* instead of swallowed, so
+    /// the caller can reason about the in-flight set. The default
+    /// forwards to `prefetch` and reports nothing scheduled, which is
+    /// exact for synchronous stores.
+    fn submit(&self, ids: &[PageId]) -> Vec<ReadHandle> {
+        self.prefetch(ids);
+        Vec::new()
+    }
+
+    /// How many reads this store can usefully keep in flight at once.
+    /// 1 (the default) means submission buys nothing: a split-phase
+    /// caller should fall back to the blocking fetch path, which is
+    /// provably event-identical at this depth.
+    fn overlap_depth(&self) -> usize {
+        1
+    }
 
     /// Cumulative microseconds this store made callers wait for I/O
     /// completions (modeled or slept). Zero for stores that do not
@@ -255,6 +277,14 @@ impl<S: PageStore + ?Sized> PageStore for &S {
         (**self).prefetch(ids);
     }
 
+    fn submit(&self, ids: &[PageId]) -> Vec<ReadHandle> {
+        (**self).submit(ids)
+    }
+
+    fn overlap_depth(&self) -> usize {
+        (**self).overlap_depth()
+    }
+
     fn io_wait_us(&self) -> u64 {
         (**self).io_wait_us()
     }
@@ -283,6 +313,14 @@ impl<S: PageStore + ?Sized> PageStore for std::sync::Arc<S> {
 
     fn prefetch(&self, ids: &[PageId]) {
         (**self).prefetch(ids);
+    }
+
+    fn submit(&self, ids: &[PageId]) -> Vec<ReadHandle> {
+        (**self).submit(ids)
+    }
+
+    fn overlap_depth(&self) -> usize {
+        (**self).overlap_depth()
     }
 
     fn io_wait_us(&self) -> u64 {

@@ -71,7 +71,7 @@ use crate::policy::PolicyKind;
 use crate::shared::QueryBuffer;
 use crate::stats::{BufferMetrics, BufferStats};
 use ir_observe::{Counter, Histogram, MetricsSnapshot, Registry};
-use ir_types::{IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
+use ir_types::{BatchHandle, IrError, IrResult, PageId, PlanEntry, ReadPlan, TermId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -153,6 +153,11 @@ struct Shard<S: PageStore> {
     /// The manager's `b_t` counters, readable without the mutex (they
     /// change only on load/evict, which hold the mutex anyway).
     terms: TermView,
+    /// The manager's in-flight `b_t` counters — pages a live
+    /// split-phase submission has committed to load. They change only
+    /// inside submit/complete, which hold the shard mutex, so the same
+    /// lock-free read protocol as `terms` applies.
+    in_flight: TermView,
     /// Clones of the manager's `buffer.*` counter handles (atomic), so
     /// a lock-light hit counts exactly like a locked one.
     metrics: BufferMetrics,
@@ -169,6 +174,7 @@ impl<S: PageStore> Shard<S> {
         Shard {
             frames: manager.frame_view(),
             terms: manager.term_view(),
+            in_flight: manager.in_flight_view(),
             metrics: manager.metrics().clone(),
             manager: Mutex::new(manager),
             pending_hits: Mutex::new(Vec::new()),
@@ -477,16 +483,13 @@ impl<S: PageStore> ShardedBufferPool<S> {
     /// [`fetch_batch`](Self::fetch_batch) writing into a caller-owned
     /// buffer (cleared first); on error `out` holds the entries served
     /// before the failure.
-    pub fn fetch_batch_into(
-        &self,
-        plan: &ReadPlan,
-        out: &mut Vec<(Page, FetchOutcome)>,
-    ) -> IrResult<()> {
-        out.clear();
-        // Single-shard plans — every entry routed to one shard, the
-        // common case under term-chunk routing and always true for
-        // `P = 1` — skip grouping and scatter entirely.
-        let single = match plan.entries().first() {
+    /// The one shard every entry of `plan` routes to, when there is
+    /// one — the common case under term-chunk routing and always true
+    /// for `P = 1`. An empty plan reports shard 0 on a one-shard pool
+    /// (it still counts one empty batch on the reference pool) and
+    /// `None` otherwise.
+    fn single_shard_of(&self, plan: &ReadPlan) -> Option<usize> {
+        match plan.entries().first() {
             Some(first) => {
                 let s = self.shard_of(first.page);
                 // Consecutive entries usually share a routing chunk
@@ -503,12 +506,21 @@ impl<S: PageStore> ShardedBufferPool<S> {
                     })
                     .then_some(s)
             }
-            // An empty plan still counts one (empty) batch on the
-            // reference pool; route it to shard 0 so `P = 1` stays
-            // identical to an unsharded manager.
             None => (self.shards.len() == 1).then_some(0),
-        };
-        if let Some(s) = single {
+        }
+    }
+
+    /// [`fetch_batch`](Self::fetch_batch) writing into a caller-owned
+    /// buffer (cleared first); on error `out` holds the entries served
+    /// before the failure.
+    pub fn fetch_batch_into(
+        &self,
+        plan: &ReadPlan,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        out.clear();
+        // Single-shard plans skip grouping and scatter entirely.
+        if let Some(s) = self.single_shard_of(plan) {
             let served = self.serve_resident_prefix(s, plan.entries(), out);
             if served == plan.len() {
                 return Ok(());
@@ -551,32 +563,110 @@ impl<S: PageStore> ShardedBufferPool<S> {
         Ok(())
     }
 
+    /// Split-phase fetch, submission half. A single-shard plan (the
+    /// common case under term-chunk routing, and what shard-aware plan
+    /// alignment produces) locks its owning shard once: the shard's
+    /// manager pins the plan's distinct pages, counts the non-resident
+    /// ones in-flight toward `b_t` (visible to the lock-free
+    /// [`resident_pages_many`](Self::resident_pages_many)), and hands
+    /// the non-resident tail to the store. Batch metrics are **not**
+    /// recorded here — the completion path attributes them exactly as
+    /// the blocking path does, at the lock-light/locked seam. A plan
+    /// spanning several shards returns an unscheduled handle:
+    /// completing it is simply the blocking cross-shard batch.
+    pub fn submit_batch(&self, plan: ReadPlan) -> IrResult<BatchHandle> {
+        match self.single_shard_of(&plan) {
+            Some(s) if !plan.is_empty() => Ok(self.lock(s).submit_unmetered(plan)),
+            _ => Ok(BatchHandle::unscheduled(plan)),
+        }
+    }
+
+    /// Split-phase fetch, completion half: settles the submission's
+    /// pins and in-flight counts under the owning shard's lock, then
+    /// serves the plan through the ordinary
+    /// [`fetch_batch_into`](Self::fetch_batch_into) path — lock-light
+    /// resident prefix, locked tail, batch metrics at the seam — so
+    /// the combined accounting is identical to a blocking batch.
+    pub fn complete_into(
+        &self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        self.settle(&handle);
+        self.fetch_batch_into(&handle.plan, out)
+    }
+
+    /// [`complete_into`](Self::complete_into) allocating its result.
+    pub fn complete(&self, handle: BatchHandle) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        let mut out = Vec::with_capacity(handle.len());
+        self.complete_into(handle, &mut out)?;
+        Ok(out)
+    }
+
+    /// Abandons a submission: pins and in-flight counts come off,
+    /// nothing is fetched.
+    pub fn cancel_batch(&self, handle: BatchHandle) {
+        self.settle(&handle);
+    }
+
+    /// Releases a submission's bookkeeping under its owning shard's
+    /// lock. Unscheduled handles (multi-shard or empty plans) took no
+    /// bookkeeping and settle for free.
+    fn settle(&self, handle: &BatchHandle) {
+        if handle.pinned.is_empty() && handle.loading.is_empty() {
+            return;
+        }
+        let first = handle.plan.entries()[0].page;
+        self.lock(self.shard_of(first)).settle_submission(handle);
+    }
+
+    /// How many reads the underlying store can usefully keep in
+    /// flight (1 = split-phase degenerates to blocking). Every shard
+    /// shares one store, so shard 0 answers for the pool.
+    pub fn overlap_depth(&self) -> usize {
+        self.lock(0).overlap_depth()
+    }
+
     /// `b_t` across the whole pool: a term's chunks may hash to
     /// several shards, so every shard's counter table is consulted —
     /// under its read lock only, never the shard mutex, so a `b_t`
     /// inquiry never queues behind a shard serving disk reads. The
     /// counters change only on load/evict (which hold the mutex), so
-    /// the values match what a locked read would return. For many
-    /// terms prefer [`resident_pages_many`](Self::resident_pages_many),
+    /// the values match what a locked read would return. Pages a live
+    /// split-phase submission has committed to load count too, as in
+    /// [`BufferManager::resident_pages`]. For many terms prefer
+    /// [`resident_pages_many`](Self::resident_pages_many),
     /// which takes one pass over the shards instead of one per term.
     pub fn resident_pages(&self, term: TermId) -> u32 {
         self.shards
             .iter()
-            .map(|shard| shard.terms.read().get(&term).copied().unwrap_or(0))
+            .map(|shard| {
+                shard.terms.read().get(&term).copied().unwrap_or(0)
+                    + shard.in_flight.read().get(&term).copied().unwrap_or(0)
+            })
             .sum()
     }
 
     /// `b_t` for every term in `terms`, in order, taking each shard's
-    /// counter read lock exactly once — `P` read-lock acquisitions
-    /// total instead of the `terms.len() × P` a per-term loop costs,
-    /// and no shard mutex at all. The BAF term selector inquires every
-    /// live candidate's `b_t` each round; this is its batched path.
+    /// counter read locks exactly once — `P` passes total instead of
+    /// the `terms.len() × P` a per-term loop costs, and no shard mutex
+    /// at all. The BAF term selector inquires every live candidate's
+    /// `b_t` each round; this is its batched path, and during overlap
+    /// rounds it sees in-flight pages exactly like resident ones.
     pub fn resident_pages_many(&self, terms: &[TermId]) -> Vec<u32> {
         let mut totals = vec![0u32; terms.len()];
         for shard in self.shards.iter() {
-            let counters = shard.terms.read();
-            for (slot, term) in totals.iter_mut().zip(terms) {
-                *slot += counters.get(term).copied().unwrap_or(0);
+            {
+                let counters = shard.terms.read();
+                for (slot, term) in totals.iter_mut().zip(terms) {
+                    *slot += counters.get(term).copied().unwrap_or(0);
+                }
+            }
+            let loading = shard.in_flight.read();
+            if !loading.is_empty() {
+                for (slot, term) in totals.iter_mut().zip(terms) {
+                    *slot += loading.get(term).copied().unwrap_or(0);
+                }
             }
         }
         totals
@@ -757,6 +847,33 @@ impl<S: PageStore> QueryBuffer for ShardedBufferPool<S> {
         ShardedBufferPool::fetch_batch_into(self, plan, out)
     }
 
+    fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<BatchHandle> {
+        ShardedBufferPool::submit_batch(self, plan)
+    }
+
+    fn complete_into(
+        &mut self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        ShardedBufferPool::complete_into(self, handle, out)
+    }
+
+    fn cancel_batch(&mut self, handle: BatchHandle) {
+        ShardedBufferPool::cancel_batch(self, handle);
+    }
+
+    fn overlap_depth(&self) -> usize {
+        ShardedBufferPool::overlap_depth(self)
+    }
+
+    fn plan_alignment(&self) -> Option<u32> {
+        // With several shards, chunk-aligned sub-plans each route to a
+        // single shard — one lock, no batch split. A one-shard pool
+        // gains nothing from alignment.
+        (self.shards.len() > 1).then_some(self.chunk_pages)
+    }
+
     fn resident_pages(&self, term: TermId) -> u32 {
         ShardedBufferPool::resident_pages(self, term)
     }
@@ -800,6 +917,35 @@ mod tests {
 
     fn pid(t: u32, p: u32) -> PageId {
         PageId::new(TermId(t), p)
+    }
+
+    /// A [`DiskSim`] that advertises a 2-deep overlap window, so
+    /// submission's pin / in-flight bookkeeping runs (a store with no
+    /// overlap takes the fast path that skips it). `submit` keeps the
+    /// trait default — nothing is actually scheduled.
+    #[derive(Debug)]
+    struct Overlapping(Arc<DiskSim>);
+
+    impl PageStore for Overlapping {
+        fn read_page(&self, id: PageId) -> IrResult<Page> {
+            self.0.read_page(id)
+        }
+
+        fn list_len(&self, term: TermId) -> Option<u32> {
+            self.0.list_len(term)
+        }
+
+        fn n_lists(&self) -> usize {
+            self.0.n_lists()
+        }
+
+        fn overlap_depth(&self) -> usize {
+            2
+        }
+    }
+
+    fn overlapping_store(n_terms: u32, pages: u32) -> Arc<Overlapping> {
+        Arc::new(Overlapping(store(n_terms, pages)))
     }
 
     #[test]
@@ -1119,6 +1265,104 @@ mod tests {
         let looped: Vec<u32> = terms.iter().map(|t| pool.resident_pages(*t)).collect();
         assert_eq!(batched, looped);
         assert_eq!(batched, vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn split_phase_matches_blocking_batch_per_shard() {
+        // Twin pools over twin stores; one runs the blocking batch,
+        // the other the split-phase pair. After quiesce, counters and
+        // store traffic must be identical.
+        let (sa, sb) = (store(4, 8), store(4, 8));
+        let blocking = ShardedBufferPool::new(Arc::clone(&sa), 64, PolicyKind::Lru, 4).unwrap();
+        let split = ShardedBufferPool::new(Arc::clone(&sb), 64, PolicyKind::Lru, 4).unwrap();
+        for t in 0..4 {
+            let plan = ReadPlan::for_term_pages(TermId(t), 8, None);
+            blocking.fetch_batch(&plan).unwrap();
+            blocking.fetch_batch(&plan).unwrap(); // warm pass
+            let h = split.submit_batch(plan.clone()).unwrap();
+            split.complete(h).unwrap();
+            let h = split.submit_batch(plan).unwrap();
+            split.complete(h).unwrap();
+        }
+        blocking.quiesce();
+        split.quiesce();
+        assert_eq!(split.stats(), blocking.stats());
+        assert_eq!(sb.stats(), sa.stats());
+        assert_eq!(split.metrics().batch_splits.get(), 0);
+        for s in 0..4 {
+            assert_eq!(split.shard_stats(s), blocking.shard_stats(s), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn submission_counts_in_flight_toward_bt_until_complete() {
+        let pool = ShardedBufferPool::new(overlapping_store(4, 8), 64, PolicyKind::Lru, 4).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(1), 8, None);
+        let handle = pool.submit_batch(plan).unwrap();
+        assert_eq!(handle.loading.len(), 8);
+        assert_eq!(
+            pool.resident_pages(TermId(1)),
+            8,
+            "in-flight pages count toward b_t"
+        );
+        assert_eq!(
+            pool.resident_pages_many(&[TermId(0), TermId(1)]),
+            vec![0, 8],
+            "batched inquiry sees the in-flight set too"
+        );
+        // Nothing fetched yet on a synchronous store.
+        assert_eq!(pool.stats().requests, 0);
+        pool.complete(handle).unwrap();
+        assert_eq!(pool.resident_pages(TermId(1)), 8, "now actually resident");
+        assert_eq!(pool.stats().misses, 8);
+        // Pins are off: pressure can evict the term's pages again.
+        pool.quiesce();
+    }
+
+    #[test]
+    fn cross_shard_submission_degenerates_to_blocking() {
+        // chunk_pages = 1 scatters an 8-page list over shards, so the
+        // submission schedules nothing and completion is the ordinary
+        // cross-shard batch.
+        let pool =
+            ShardedBufferPool::with_chunk_pages(store(1, 8), 32, PolicyKind::Lru, 4, 1).unwrap();
+        let plan = ReadPlan::for_term_pages(TermId(0), 8, None);
+        let handle = pool.submit_batch(plan).unwrap();
+        assert!(handle.pinned.is_empty() && handle.loading.is_empty());
+        assert_eq!(pool.resident_pages(TermId(0)), 0, "nothing in flight");
+        let out = pool.complete(handle).unwrap();
+        assert_eq!(out.len(), 8);
+        assert!(out.iter().all(|(_, o)| *o == FetchOutcome::Miss));
+        assert_eq!(pool.metrics().batch_splits.get(), 1);
+    }
+
+    #[test]
+    fn cancelled_submission_releases_pins_and_bt() {
+        let pool = ShardedBufferPool::new(overlapping_store(2, 8), 64, PolicyKind::Lru, 4).unwrap();
+        let handle = pool
+            .submit_batch(ReadPlan::for_term_pages(TermId(0), 4, None))
+            .unwrap();
+        assert_eq!(pool.resident_pages(TermId(0)), 4);
+        pool.cancel_batch(handle);
+        assert_eq!(pool.resident_pages(TermId(0)), 0);
+        assert_eq!(pool.stats().requests, 0);
+        let owner = pool.shard_of(pid(0, 0));
+        pool.with_shard(owner, |bm| {
+            assert_eq!(bm.pin_count(pid(0, 0)), 0, "cancel releases the pins");
+        });
+    }
+
+    #[test]
+    fn plan_alignment_reports_the_routing_chunk() {
+        let multi = ShardedBufferPool::new(store(1, 8), 64, PolicyKind::Lru, 4).unwrap();
+        assert_eq!(QueryBuffer::plan_alignment(&multi), Some(8));
+        assert_eq!(multi.chunk_pages(), 8);
+        let single = ShardedBufferPool::new(store(1, 8), 64, PolicyKind::Lru, 1).unwrap();
+        assert_eq!(
+            QueryBuffer::plan_alignment(&single),
+            None,
+            "one shard never splits, alignment buys nothing"
+        );
     }
 
     #[test]

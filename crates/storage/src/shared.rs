@@ -22,7 +22,7 @@ use crate::disk::PageStore;
 use crate::page::Page;
 use crate::partition::{PartitionId, PartitionedBuffer};
 use crate::stats::BufferStats;
-use ir_types::{IrError, IrResult, PageId, ReadPlan, TermId};
+use ir_types::{BatchHandle, IrError, IrResult, PageId, ReadPlan, TermId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -84,6 +84,74 @@ pub trait QueryBuffer {
     /// have a store to forward to.
     fn prefetch(&mut self, _plan: &ReadPlan) {}
 
+    /// Split-phase fetch, submission half: starts `plan`'s store
+    /// transfers (where the store can overlap at all) and returns a
+    /// [`BatchHandle`] the caller later passes to
+    /// [`complete`](Self::complete). Between the two calls the
+    /// submission's pages are pinned (an in-flight page is never a
+    /// replacement victim) and its non-resident pages count toward
+    /// their term's `b_t`, so a concurrent term selector sees the
+    /// pages the pool has already committed to load.
+    ///
+    /// The default schedules nothing and pins nothing — it just wraps
+    /// the plan — so for any implementor that keeps the defaults,
+    /// submit + complete is *literally* a blocking
+    /// [`fetch_batch_into`](Self::fetch_batch_into). Implementations
+    /// that do schedule must preserve that equivalence whenever the
+    /// store cannot overlap (queue depth ≤ 1): same events, same
+    /// counters, same store traffic.
+    fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<BatchHandle> {
+        Ok(BatchHandle::unscheduled(plan))
+    }
+
+    /// Split-phase fetch, completion half: waits for (or performs) the
+    /// submitted reads and serves every plan entry **in plan order**,
+    /// exactly like [`fetch_batch`](Self::fetch_batch). Consumes the
+    /// handle — a submission completes exactly once. Transient
+    /// failures (torn pages, injected faults) are retried *here*,
+    /// under the pool's `FetchPolicy`, never leaked to the caller as
+    /// phantom handles.
+    fn complete(&mut self, handle: BatchHandle) -> IrResult<Vec<(Page, FetchOutcome)>> {
+        let mut out = Vec::with_capacity(handle.len());
+        self.complete_into(handle, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`complete`](Self::complete) writing into a caller-owned buffer
+    /// (cleared first) — the scratch-reuse form, mirroring
+    /// [`fetch_batch_into`](Self::fetch_batch_into).
+    fn complete_into(
+        &mut self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        self.fetch_batch_into(&handle.plan, out)
+    }
+
+    /// Abandons a submission without serving it: releases the pins and
+    /// the in-flight `b_t` counts the submission took, performing no
+    /// fetches. Reads the store already started are not recalled —
+    /// a latency-modeling store counts them as wasted prefetches.
+    fn cancel_batch(&mut self, handle: BatchHandle) {
+        drop(handle);
+    }
+
+    /// How many submissions the underlying store can usefully overlap:
+    /// 1 means submission starts nothing and split-phase degenerates
+    /// to the blocking path (the default); a latency-modeling store
+    /// reports its queue depth.
+    fn overlap_depth(&self) -> usize {
+        1
+    }
+
+    /// Routing granularity a plan should be chunked to, in pages:
+    /// `Some(chunk)` when plans aligned to `chunk`-page boundaries of
+    /// one term's list each land on a single shard of a lock-striped
+    /// pool, `None` (the default) when alignment buys nothing.
+    fn plan_alignment(&self) -> Option<u32> {
+        None
+    }
+
     /// `b_t`: resident page count of `term`'s inverted list.
     fn resident_pages(&self, term: TermId) -> u32;
 
@@ -133,6 +201,26 @@ impl<S: PageStore> QueryBuffer for BufferManager<S> {
 
     fn prefetch(&mut self, plan: &ReadPlan) {
         BufferManager::prefetch(self, plan);
+    }
+
+    fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<BatchHandle> {
+        BufferManager::submit_batch(self, plan)
+    }
+
+    fn complete_into(
+        &mut self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        BufferManager::complete_into(self, handle, out)
+    }
+
+    fn cancel_batch(&mut self, handle: BatchHandle) {
+        BufferManager::cancel_batch(self, handle);
+    }
+
+    fn overlap_depth(&self) -> usize {
+        BufferManager::overlap_depth(self)
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {
@@ -217,6 +305,32 @@ impl<T: QueryBuffer> QueryBuffer for Shared<T> {
 
     fn prefetch(&mut self, plan: &ReadPlan) {
         self.inner.lock().prefetch(plan);
+    }
+
+    fn submit_batch(&mut self, plan: ReadPlan) -> IrResult<BatchHandle> {
+        self.inner.lock().submit_batch(plan)
+    }
+
+    fn complete_into(
+        &mut self,
+        handle: BatchHandle,
+        out: &mut Vec<(Page, FetchOutcome)>,
+    ) -> IrResult<()> {
+        // One lock acquisition for the whole completion, mirroring
+        // fetch_batch: the batch is the critical section.
+        self.inner.lock().complete_into(handle, out)
+    }
+
+    fn cancel_batch(&mut self, handle: BatchHandle) {
+        self.inner.lock().cancel_batch(handle);
+    }
+
+    fn overlap_depth(&self) -> usize {
+        self.inner.lock().overlap_depth()
+    }
+
+    fn plan_alignment(&self) -> Option<u32> {
+        self.inner.lock().plan_alignment()
     }
 
     fn resident_pages(&self, term: TermId) -> u32 {

@@ -1,0 +1,268 @@
+//! The split-phase identity contract, tested as a property: over a
+//! store that cannot overlap (queue depth 1), `submit_batch` +
+//! `complete` must be indistinguishable from the blocking
+//! `fetch_batch` it decomposes — same delivered pages, same fetch
+//! outcomes, same event stream, same pool counters, same resident
+//! set, same per-term `b_t` — for **every** replacement policy, over
+//! **every** pool layout the engine can route a session through
+//! (bare manager, mutex-shared manager, partition handle, sharded
+//! pool), with and without a seeded fault schedule injecting
+//! transient failures and torn pages into both twins alike.
+//!
+//! This is the contract that lets `fetch_batch` be *defined* as
+//! submit + complete in the evaluation loops: if it holds, turning
+//! the overlap loop off can never perturb a golden CSV.
+
+use ir_storage::{
+    BufferEvent, BufferManager, BufferObserver, BufferStats, DiskSim, FaultConfig, FaultStore,
+    FetchPolicy, Page, PartitionedBuffer, PolicyKind, QueryBuffer, ShardedBufferPool,
+    SharedBufferManager, SharedPartitionedBuffer,
+};
+use ir_types::{PageId, PlanEntry, Posting, ReadPlan, TermId};
+use proptest::{collection, proptest, ProptestConfig};
+use std::sync::{Arc, Mutex};
+
+/// An observer whose log outlives the pool, so the twins' event
+/// streams can be compared after the pools are gone.
+#[derive(Clone, Debug, Default)]
+struct SharedLog(Arc<Mutex<Vec<BufferEvent>>>);
+
+impl BufferObserver for SharedLog {
+    fn event(&mut self, event: BufferEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+const N_TERMS: u32 = 4;
+const PAGES_PER_TERM: u32 = 8;
+const FRAMES: usize = 12;
+
+fn store() -> DiskSim {
+    let lists = (0..N_TERMS)
+        .map(|t| {
+            (0..PAGES_PER_TERM)
+                .map(|p| {
+                    let postings: Vec<Posting> = vec![Posting::new(p, PAGES_PER_TERM - p)];
+                    Page::new(PageId::new(TermId(t), p), postings.into(), f64::from(t + 1))
+                })
+                .collect()
+        })
+        .collect();
+    DiskSim::new(lists)
+}
+
+/// One workload step: a hinted plan over `len` pages of term `t`
+/// starting at `p0` (clamped to the list).
+type Op = (u32, u32, u32);
+
+fn plan_for(&(t, p0, len): &Op) -> ReadPlan {
+    let start = p0.min(PAGES_PER_TERM - 1);
+    let end = (start + len.max(1)).min(PAGES_PER_TERM);
+    (start..end)
+        .map(|p| PlanEntry::hinted(PageId::new(TermId(t), p), f64::from(t + 1)))
+        .collect()
+}
+
+/// Drives the `blocking` twin with `fetch_batch` and the `split` twin
+/// with `submit_batch` + `complete` over the same plans, asserting
+/// after every step that the served pages and outcomes agree, and at
+/// the end that the observable pool state does too.
+fn assert_split_matches_blocking<B: QueryBuffer>(
+    blocking: &mut B,
+    split: &mut B,
+    ops: &[Op],
+    label: &str,
+) {
+    assert_eq!(
+        split.overlap_depth(),
+        1,
+        "{label}: this suite only states the queue-depth-1 identity"
+    );
+    for op in ops {
+        let plan = plan_for(op);
+        let a = blocking
+            .fetch_batch(&plan)
+            .unwrap_or_else(|e| panic!("{label}: blocking fetch failed: {e}"));
+        let handle = split
+            .submit_batch(plan)
+            .unwrap_or_else(|e| panic!("{label}: submit failed: {e}"));
+        let b = split
+            .complete(handle)
+            .unwrap_or_else(|e| panic!("{label}: complete failed: {e}"));
+        assert_eq!(a.len(), b.len(), "{label}: served counts differ");
+        for ((pa, oa), (pb, ob)) in a.iter().zip(&b) {
+            assert_eq!(pa.id(), pb.id(), "{label}: page order differs");
+            assert_eq!(oa, ob, "{label}: outcome differs for {:?}", pa.id());
+            assert_eq!(
+                pa.postings(),
+                pb.postings(),
+                "{label}: delivered bytes differ for {:?}",
+                pa.id()
+            );
+        }
+    }
+    let (sa, sb): (BufferStats, BufferStats) = (blocking.stats(), split.stats());
+    assert_eq!(
+        (sa.requests, sa.hits, sa.misses, sa.evictions),
+        (sb.requests, sb.hits, sb.misses, sb.evictions),
+        "{label}: pool counters differ"
+    );
+    assert_eq!(
+        blocking.borrows(),
+        split.borrows(),
+        "{label}: borrow counts differ"
+    );
+    let terms: Vec<TermId> = (0..N_TERMS).map(TermId).collect();
+    assert_eq!(
+        blocking.resident_pages_many(&terms),
+        split.resident_pages_many(&terms),
+        "{label}: per-term b_t differs"
+    );
+}
+
+/// The seeded fault configurations each layout is exercised under:
+/// a clean store, and a chaos schedule (transient faults + torn
+/// pages, bounded so `retries(4)` always recovers).
+fn fault_modes() -> [(Option<FaultConfig>, FetchPolicy); 2] {
+    [
+        (None, FetchPolicy::NO_RETRY),
+        (Some(FaultConfig::chaos(193)), FetchPolicy::retries(4)),
+    ]
+}
+
+fn faulted(config: Option<FaultConfig>) -> FaultStore<DiskSim> {
+    FaultStore::new(store(), config.unwrap_or(FaultConfig::DISABLED))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Bare [`BufferManager`]: the twins must agree down to the event
+    /// log — the strictest observable surface a pool has.
+    #[test]
+    fn manager_submit_complete_is_fetch_batch(
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM, 1u32..PAGES_PER_TERM), 1..24),
+    ) {
+        for kind in PolicyKind::ALL {
+            for (config, fetch) in fault_modes() {
+                let label = format!("manager/{kind}/faults={}", config.is_some());
+                let mut blocking = BufferManager::new(faulted(config), FRAMES, kind).unwrap();
+                let mut split = BufferManager::new(faulted(config), FRAMES, kind).unwrap();
+                blocking.set_fetch_policy(fetch);
+                split.set_fetch_policy(fetch);
+                let (log_a, log_b) = (SharedLog::default(), SharedLog::default());
+                blocking.set_observer(Box::new(log_a.clone()));
+                split.set_observer(Box::new(log_b.clone()));
+                assert_split_matches_blocking(&mut blocking, &mut split, &ops, &label);
+                assert_eq!(
+                    blocking.store().stats(),
+                    split.store().stats(),
+                    "{label}: store traffic (and fault draws) differ"
+                );
+                assert_eq!(
+                    *log_a.0.lock().unwrap(),
+                    *log_b.0.lock().unwrap(),
+                    "{label}: event logs differ"
+                );
+            }
+        }
+    }
+
+    /// The mutex-shared manager: split-phase holds the lock once per
+    /// phase instead of once per batch, which must not change what
+    /// a single session observes.
+    #[test]
+    fn shared_manager_submit_complete_is_fetch_batch(
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM, 1u32..PAGES_PER_TERM), 1..24),
+    ) {
+        for kind in PolicyKind::ALL {
+            for (config, fetch) in fault_modes() {
+                let label = format!("shared/{kind}/faults={}", config.is_some());
+                let make = || {
+                    let mut bm = BufferManager::new(faulted(config), FRAMES, kind).unwrap();
+                    bm.set_fetch_policy(fetch);
+                    SharedBufferManager::new(bm)
+                };
+                let (mut blocking, mut split) = (make(), make());
+                assert_split_matches_blocking(&mut blocking, &mut split, &ops, &label);
+            }
+        }
+    }
+
+    /// A partition handle over the shared partitioned pool: the
+    /// default trait composition (submit captures the plan, complete
+    /// runs the blocking batch) must stay exact, sibling borrowing
+    /// included.
+    #[test]
+    fn partition_handle_submit_complete_is_fetch_batch(
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM, 1u32..PAGES_PER_TERM), 1..24),
+        seed_pid in 0usize..2,
+    ) {
+        for kind in PolicyKind::ALL {
+            for (config, fetch) in fault_modes() {
+                let label = format!("partition/{kind}/faults={}", config.is_some());
+                let make = || {
+                    let mut pb = PartitionedBuffer::new(
+                        Arc::new(faulted(config)), 2, FRAMES, kind,
+                    ).unwrap();
+                    pb.set_fetch_policy(fetch);
+                    let pool = SharedPartitionedBuffer::new(pb);
+                    // Seed the *other* partition so sibling borrows
+                    // actually fire during the measured workload.
+                    let mut seeder = pool.handle(1 - seed_pid).unwrap();
+                    seeder.fetch(PageId::new(TermId(0), 0)).unwrap();
+                    pool.handle(seed_pid).unwrap()
+                };
+                let (mut blocking, mut split) = (make(), make());
+                assert_split_matches_blocking(&mut blocking, &mut split, &ops, &label);
+            }
+        }
+    }
+
+    /// The sharded pool: submission pins across shards and tracks
+    /// in-flight `b_t` per shard; at queue depth 1 none of that may
+    /// leak into events, counters, or residency. Hit events are
+    /// *deferred* on this pool (applied at the shard's next lock), so
+    /// their cross-shard interleaving reflects lock timing, not
+    /// behaviour — both twins are therefore quiesced after every
+    /// batch, pinning the drain points to the same places before the
+    /// logs are compared.
+    #[test]
+    fn sharded_pool_submit_complete_is_fetch_batch(
+        ops in collection::vec((0u32..N_TERMS, 0u32..PAGES_PER_TERM, 1u32..PAGES_PER_TERM), 1..24),
+    ) {
+        for kind in PolicyKind::ALL {
+            for (config, fetch) in fault_modes() {
+                let label = format!("sharded/{kind}/faults={}", config.is_some());
+                let make = |log: &SharedLog| {
+                    let pool = ShardedBufferPool::new(
+                        Arc::new(faulted(config)), 2 * FRAMES, kind, 2,
+                    ).unwrap();
+                    pool.set_fetch_policy(fetch);
+                    for s in 0..2 {
+                        let log = log.clone();
+                        pool.with_shard(s, |bm| bm.set_observer(Box::new(log)));
+                    }
+                    pool
+                };
+                let (log_a, log_b) = (SharedLog::default(), SharedLog::default());
+                let (mut blocking, mut split) = (make(&log_a), make(&log_b));
+                for op in &ops {
+                    assert_split_matches_blocking(
+                        &mut blocking,
+                        &mut split,
+                        std::slice::from_ref(op),
+                        &label,
+                    );
+                    blocking.quiesce();
+                    split.quiesce();
+                }
+                assert_eq!(
+                    *log_a.0.lock().unwrap(),
+                    *log_b.0.lock().unwrap(),
+                    "{label}: event logs differ"
+                );
+            }
+        }
+    }
+}
