@@ -38,6 +38,7 @@ pub fn run(ctx: &ExpContext<'_>) -> ExpResult<OrderingSummary> {
             measure_compression: false,
             keep_forward: false,
             ordering: ListOrdering::DocIdSorted,
+            ..IndexCorpusOptions::default()
         },
     )?;
 

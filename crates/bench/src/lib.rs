@@ -18,6 +18,7 @@
 
 pub mod adaptive;
 pub mod chaos;
+pub mod codec;
 pub mod exp;
 pub mod output;
 pub mod report;

@@ -13,7 +13,9 @@
 //! [`BuildOptions::derive_stop_words`]: stopped terms keep their lexicon
 //! slot but lose their inverted list and contribute nothing to `W_d`.
 
-use crate::compress::{self, CompressionStats};
+use crate::compress::{
+    self, BulkVByteCodec, Codec, CompressionStats, GoldenCodec, ListCodec, RePairCodec,
+};
 use crate::conversion::ConversionTable;
 use crate::docstats::DocStats;
 use crate::forward::ForwardIndex;
@@ -44,6 +46,11 @@ pub struct BuildOptions {
     /// Retain a document → term-vector forward index (needed for
     /// relevance feedback; costs about as much memory as the postings).
     pub keep_forward: bool,
+    /// The list codec the index persists its postings with
+    /// ([`Codec::Golden`] unless overridden). [`Codec::RePair`] adds a
+    /// grammar-training pass over the sorted lists at the end of the
+    /// build; the in-memory pages are decoded postings regardless.
+    pub codec: Codec,
 }
 
 impl Default for BuildOptions {
@@ -54,6 +61,7 @@ impl Default for BuildOptions {
             measure_compression: false,
             parallel: true,
             keep_forward: false,
+            codec: Codec::Golden,
         }
     }
 }
@@ -63,11 +71,8 @@ impl BuildOptions {
     /// collection-derived 100-term stop list.
     pub fn paper() -> Self {
         BuildOptions {
-            params: IndexParams::paper(),
             derive_stop_words: 100,
-            measure_compression: false,
-            parallel: true,
-            keep_forward: false,
+            ..BuildOptions::default()
         }
     }
 }
@@ -364,12 +369,38 @@ impl IndexBuilder {
             ordering,
         );
 
+        // 6. The persistence codec. Re-Pair trains its grammar on the
+        // sorted lists (frequency-sorted copies when the index keeps
+        // doc order, since the golden byte stream the grammar models
+        // requires frequency order).
+        let codec: Arc<dyn ListCodec> = match options.codec {
+            Codec::Golden => Arc::new(GoldenCodec),
+            Codec::BulkVByte => Arc::new(BulkVByteCodec),
+            Codec::RePair => match ordering {
+                ListOrdering::FrequencySorted => {
+                    Arc::new(RePairCodec::train(postings.iter().map(|l| l.as_slice())))
+                }
+                ListOrdering::DocIdSorted => {
+                    let sorted: Vec<Vec<Posting>> = postings
+                        .iter()
+                        .map(|l| {
+                            let mut copy = l.clone();
+                            copy.sort_unstable_by(frequency_order);
+                            copy
+                        })
+                        .collect();
+                    Arc::new(RePairCodec::train(sorted.iter().map(|l| l.as_slice())))
+                }
+            },
+        };
+
         Ok(InvertedIndex::from_parts(
             lexicon,
             DocStats::new(vector_lengths),
             conversion,
             options.params,
             Arc::new(DiskSim::new(lists)),
+            codec,
             options.measure_compression.then_some(compression),
             forward,
         ))

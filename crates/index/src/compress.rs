@@ -1,302 +1,50 @@
 //! Posting compression for frequency-sorted inverted lists.
 //!
-//! The paper assumes the compression of [PZSD96]: a raw 6-byte
-//! `(d, f_{d,t})` entry (4-byte document id + 2-byte frequency) shrinks
-//! to ≈1 byte, which is what makes 404 entries fit in a tenth of a 4 KB
-//! page (§4.2). This module implements the scheme that frequency-sorted
-//! lists make natural:
+//! The implementation lives in [`ir_storage::codec`] — the page-file
+//! backend must decode codec payloads, and `ir-index` already depends
+//! on `ir-storage`, so the codec layer sits below both. This module
+//! re-exports the whole surface under its historical home so existing
+//! call sites (`ir_index::compress::encode_postings`, …) and the
+//! crate-root re-exports keep working unchanged.
 //!
-//! * entries are grouped into **runs of equal frequency** (the sort
-//!   order guarantees runs are contiguous and frequencies decrease);
-//! * each run header stores the *drop* from the previous frequency and
-//!   the run length, both variable-byte coded;
-//! * document ids within a run are ascending, so they are coded as
-//!   v-byte **gaps**.
-//!
-//! On a skewed collection most postings have `f_{d,t} = 1` and land in
-//! one giant run of small gaps, approaching 1–1.5 bytes per entry.
-//!
-//! The simulator keeps pages decoded in memory (disk reads are the
-//! metric, not bytes), so this codec's role is (a) validating the
-//! 1-byte-per-entry premise on our synthetic collection — reported by
-//! the `table4` experiment — and (b) the `compression` Criterion bench.
+//! See [`ir_storage::codec`] for the format documentation: the golden
+//! RLE+v-byte scheme the paper's ≈1 byte/entry premise rests on, the
+//! bulk group-varint codec, and the Re-Pair grammar codec.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use ir_types::{is_frequency_sorted, Posting};
-
-/// Aggregate codec statistics for a whole index build.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CompressionStats {
-    /// Entries encoded.
-    pub n_postings: u64,
-    /// Size at the paper's raw 6 bytes/entry.
-    pub raw_bytes: u64,
-    /// Encoded size.
-    pub compressed_bytes: u64,
-}
-
-impl CompressionStats {
-    /// Mean encoded bytes per entry.
-    pub fn bytes_per_entry(&self) -> f64 {
-        if self.n_postings == 0 {
-            0.0
-        } else {
-            self.compressed_bytes as f64 / self.n_postings as f64
-        }
-    }
-
-    /// Accumulates another batch.
-    pub fn add(&mut self, other: CompressionStats) {
-        self.n_postings += other.n_postings;
-        self.raw_bytes += other.raw_bytes;
-        self.compressed_bytes += other.compressed_bytes;
-    }
-}
-
-/// Decode counters on the global registry, resolved once: the name
-/// lookup takes a short lock, the per-decode bumps are lock-free.
-fn decode_counters() -> &'static (ir_observe::Counter, ir_observe::Counter) {
-    static COUNTERS: std::sync::OnceLock<(ir_observe::Counter, ir_observe::Counter)> =
-        std::sync::OnceLock::new();
-    COUNTERS.get_or_init(|| {
-        let registry = ir_observe::global();
-        (
-            registry.counter("index.pages_decoded"),
-            registry.counter("index.bytes_decompressed"),
-        )
-    })
-}
-
-fn put_vbyte(buf: &mut BytesMut, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte | 0x80); // high bit terminates
-            return;
-        }
-        buf.put_u8(byte);
-    }
-}
-
-fn get_vbyte(buf: &mut Bytes) -> Option<u64> {
-    let mut v: u64 = 0;
-    let mut shift = 0u32;
-    loop {
-        if !buf.has_remaining() || shift >= 64 {
-            return None;
-        }
-        let byte = buf.get_u8();
-        v |= u64::from(byte & 0x7f) << shift;
-        if byte & 0x80 != 0 {
-            return Some(v);
-        }
-        shift += 7;
-    }
-}
-
-/// Encodes frequency-sorted postings.
-///
-/// # Panics
-/// Panics if `postings` is not in frequency order (`f` desc, `d` asc) —
-/// the builder guarantees the order; violating it would corrupt gaps.
-pub fn encode_postings(postings: &[Posting]) -> Bytes {
-    assert!(
-        is_frequency_sorted(postings),
-        "encode_postings requires frequency-sorted input"
-    );
-    let mut buf = BytesMut::with_capacity(postings.len() * 2);
-    put_vbyte(&mut buf, postings.len() as u64);
-    let mut i = 0usize;
-    let mut prev_freq: Option<u32> = None;
-    while i < postings.len() {
-        let freq = postings[i].freq;
-        let mut j = i;
-        while j < postings.len() && postings[j].freq == freq {
-            j += 1;
-        }
-        // Run header: frequency drop (first run stores the frequency
-        // itself) and run length.
-        match prev_freq {
-            None => put_vbyte(&mut buf, u64::from(freq)),
-            Some(p) => put_vbyte(&mut buf, u64::from(p - freq)),
-        }
-        prev_freq = Some(freq);
-        put_vbyte(&mut buf, (j - i) as u64);
-        // Doc-id gaps within the run.
-        let mut prev_doc = 0u32;
-        for (k, p) in postings[i..j].iter().enumerate() {
-            let gap = if k == 0 { p.doc.0 } else { p.doc.0 - prev_doc };
-            put_vbyte(&mut buf, u64::from(gap));
-            prev_doc = p.doc.0;
-        }
-        i = j;
-    }
-    buf.freeze()
-}
-
-/// Decodes postings produced by [`encode_postings`].
-///
-/// Returns `None` on any malformed input (truncated varint, overflowing
-/// counts, non-decreasing frequencies). Each call records one page
-/// decode and the compressed byte count on the global `ir-observe`
-/// registry (`index.pages_decoded` / `index.bytes_decompressed`).
-pub fn decode_postings(data: Bytes) -> Option<Vec<Posting>> {
-    let mut out = Vec::new();
-    decode_postings_into(data, &mut out).then_some(out)
-}
-
-/// Decodes postings produced by [`encode_postings`] into a caller-owned
-/// vector, reusing its capacity — the scratch-buffer counterpart of
-/// [`decode_postings`] for hot paths that decode one page per fetch and
-/// would otherwise allocate a fresh `Vec<Posting>` each time.
-///
-/// Clears `out` first. Returns `false` on any malformed input (`out`
-/// then holds at most a partial decode and must not be used); the
-/// counters recorded match [`decode_postings`] exactly.
-pub fn decode_postings_into(mut data: Bytes, out: &mut Vec<Posting>) -> bool {
-    out.clear();
-    let (pages, bytes) = decode_counters();
-    pages.inc();
-    bytes.add(data.remaining() as u64);
-    let Some(n) = get_vbyte(&mut data).map(|v| v as usize) else {
-        return false;
-    };
-    // Guard against hostile counts: each posting costs ≥ 1 byte.
-    if n > data.remaining().saturating_mul(2) + 2 {
-        return false;
-    }
-    out.reserve(n);
-    decode_body(data, n, out).is_some()
-}
-
-/// The run-decoding loop shared by both decode entry points.
-fn decode_body(mut data: Bytes, n: usize, out: &mut Vec<Posting>) -> Option<()> {
-    let mut freq: Option<u32> = None;
-    while out.len() < n {
-        let header = get_vbyte(&mut data)?;
-        let f = match freq {
-            None => u32::try_from(header).ok()?,
-            Some(p) => p.checked_sub(u32::try_from(header).ok()?)?,
-        };
-        if f == 0 {
-            return None; // frequencies are >= 1
-        }
-        freq = Some(f);
-        let run = get_vbyte(&mut data)? as usize;
-        if run == 0 || out.len() + run > n {
-            return None;
-        }
-        let mut doc = 0u32;
-        for k in 0..run {
-            let gap = u32::try_from(get_vbyte(&mut data)?).ok()?;
-            doc = if k == 0 { gap } else { doc.checked_add(gap)? };
-            out.push(Posting {
-                doc: ir_types::DocId(doc),
-                freq: f,
-            });
-        }
-    }
-    Some(())
-}
-
-/// Encodes and measures without keeping the bytes.
-pub fn measure(postings: &[Posting]) -> CompressionStats {
-    let encoded = encode_postings(postings);
-    CompressionStats {
-        n_postings: postings.len() as u64,
-        raw_bytes: postings.len() as u64 * 6,
-        compressed_bytes: encoded.len() as u64,
-    }
-}
+pub use ir_storage::codec::{
+    decode_postings, decode_postings_into, encode_postings, measure, BulkVByteCodec, Codec,
+    CodecStats, CompressionStats, GoldenCodec, ListCodec, RePairCodec, RePairGrammar,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ir_types::frequency_order;
+    use ir_types::Posting;
 
-    fn postings(entries: &[(u32, u32)]) -> Vec<Posting> {
-        entries.iter().map(|&(d, f)| Posting::new(d, f)).collect()
-    }
-
+    /// The shim must expose the same behaviour as the storage-layer
+    /// implementation — one smoke round trip per codec through the
+    /// `ir_index::compress` path.
     #[test]
-    fn round_trip_simple() {
-        let p = postings(&[(3, 9), (1, 5), (7, 5), (0, 1), (2, 1), (9, 1)]);
-        let enc = encode_postings(&p);
-        assert_eq!(decode_postings(enc).unwrap(), p);
-    }
-
-    #[test]
-    fn empty_list() {
-        let enc = encode_postings(&[]);
-        assert_eq!(decode_postings(enc).unwrap(), vec![]);
-    }
-
-    #[test]
-    fn skewed_lists_approach_one_byte_per_entry() {
-        // 10,000 postings, all frequency 1, dense doc ids: the paper's
-        // dominant case. Gaps of 1 cost one byte each.
-        let p: Vec<Posting> = (0..10_000).map(|d| Posting::new(d, 1)).collect();
-        let stats = measure(&p);
-        assert!(
-            stats.bytes_per_entry() < 1.1,
-            "got {} bytes/entry",
-            stats.bytes_per_entry()
-        );
-        assert_eq!(stats.raw_bytes, 60_000);
-    }
-
-    #[test]
-    fn truncated_input_rejected() {
-        let p = postings(&[(3, 9), (1, 5)]);
-        let enc = encode_postings(&p);
-        for cut in 1..enc.len() {
-            assert!(
-                decode_postings(enc.slice(0..cut)).is_none(),
-                "truncation at {cut} must fail"
-            );
+    fn shim_round_trips_every_codec() {
+        let p: Vec<Posting> = (0..300).map(|d| Posting::new(d * 2, 1)).collect();
+        assert_eq!(decode_postings(encode_postings(&p)).unwrap(), p);
+        for codec in Codec::ALL {
+            let built = match codec {
+                Codec::RePair => {
+                    let trained = RePairCodec::train([p.as_slice()]);
+                    codec.build(&trained.dictionary()).unwrap()
+                }
+                _ => codec.build(&[]).unwrap(),
+            };
+            assert_eq!(built.decode(built.encode(&p)).unwrap(), p, "{codec}");
         }
     }
 
     #[test]
-    fn garbage_input_rejected_or_decodes_to_something() {
-        // Any byte soup must not panic.
-        let cases: [&[u8]; 4] = [&[0xff], &[0x81, 0x00], &[0x85, 0x85], &[0x82, 0x80, 0x80]];
-        for c in cases {
-            let _ = decode_postings(Bytes::copy_from_slice(c));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "frequency-sorted")]
-    fn unsorted_input_panics() {
-        let _ = encode_postings(&postings(&[(0, 1), (1, 5)]));
-    }
-
-    #[test]
-    fn stats_accumulate() {
-        let mut total = CompressionStats::default();
-        total.add(measure(&postings(&[(0, 2), (1, 1)])));
-        total.add(measure(&postings(&[(5, 3)])));
-        assert_eq!(total.n_postings, 3);
-        assert_eq!(total.raw_bytes, 18);
-        assert!(total.compressed_bytes > 0);
-    }
-
-    #[test]
-    fn round_trip_random_lists() {
-        use rand::{rngs::SmallRng, Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(7);
-        for _ in 0..50 {
-            let n = rng.gen_range(0..200);
-            let mut p: Vec<Posting> = (0..n)
-                .map(|_| Posting::new(rng.gen_range(0..10_000), rng.gen_range(1..50)))
-                .collect();
-            p.sort_by(frequency_order);
-            p.dedup_by_key(|x| x.doc); // doc ids unique within a list
-            p.sort_by(frequency_order);
-            let enc = encode_postings(&p);
-            assert_eq!(decode_postings(enc).unwrap(), p);
-        }
+    fn shim_exposes_stats_types() {
+        let mut stats = CodecStats::default();
+        stats.add(Codec::Golden, measure(&[Posting::new(4, 2)]));
+        assert_eq!(stats.get(Codec::Golden).n_postings, 1);
+        assert!(CompressionStats::default().bytes_per_entry() == 0.0);
     }
 }

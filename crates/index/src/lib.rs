@@ -34,7 +34,10 @@ pub mod persist;
 pub mod scan_geometry;
 
 pub use builder::{BuildOptions, IndexBuilder};
-pub use compress::{decode_postings, decode_postings_into, encode_postings, CompressionStats};
+pub use compress::{
+    decode_postings, decode_postings_into, encode_postings, BulkVByteCodec, Codec, CodecStats,
+    CompressionStats, GoldenCodec, ListCodec, RePairCodec, RePairGrammar,
+};
 pub use conversion::ConversionTable;
 pub use conversion_compact::CompactConversionTable;
 pub use docstats::DocStats;

@@ -7,14 +7,19 @@
 //!
 //! ```text
 //! "BFIR" magic | u32 version | u32 n_docs | u32 n_terms | u64 page_size
+//! u8 ordering | u8 codec id | u32 dict_len | dictionary   (codec: v2 only)
 //! lexicon:   per term: name (u16 len + bytes), u32 doc_freq, u32 f_max,
 //!            u64 n_postings, u8 stopped
 //! doc stats: n_docs × f64 vector lengths
-//! postings:  per term: u32 encoded byte length + run-length/v-byte
-//!            payload (the [PZSD96]-style codec of [`crate::compress`],
-//!            whole list in one blob)
+//! postings:  per term: u32 encoded byte length + codec payload
+//!            (whole list in one blob, [`crate::compress`])
 //! trailer:   u64 FNV-1a checksum of everything above
 //! ```
+//!
+//! Version 1 files predate the codec layer: they carry no codec id or
+//! dictionary and their payloads are always the golden [PZSD96]-style
+//! encoding, so they load as [`Codec::Golden`](crate::compress::Codec)
+//! unchanged.
 //!
 //! Everything derivable is rebuilt at load time — `idf_t` from
 //! `(N, f_t)`, page boundaries from `page_size`, the conversion table
@@ -42,7 +47,12 @@ use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BFIR";
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION: u32 = 2;
+
+/// Upper bound on a persisted codec dictionary; a corrupt length field
+/// must not drive a huge allocation before the structural checks run.
+const MAX_DICT_LEN: usize = 1 << 20;
 
 /// Errors from saving/loading an index.
 #[derive(Debug)]
@@ -170,6 +180,17 @@ pub fn save_index(index: &InvertedIndex, path: &Path) -> Result<(), PersistError
         ListOrdering::FrequencySorted => 0,
         ListOrdering::DocIdSorted => 1,
     });
+    let codec = Arc::clone(index.codec_impl());
+    let dictionary = codec.dictionary();
+    if dictionary.len() > MAX_DICT_LEN {
+        return Err(PersistError::Corrupt(format!(
+            "codec dictionary too large ({} bytes)",
+            dictionary.len()
+        )));
+    }
+    w.u8(codec.id().id());
+    w.u32(dictionary.len() as u32);
+    w.bytes(&dictionary);
 
     // Lexicon.
     for (_, e) in index.lexicon().iter() {
@@ -204,7 +225,7 @@ pub fn save_index(index: &InvertedIndex, path: &Path) -> Result<(), PersistError
             // The codec requires frequency order; the load path re-sorts.
             list.sort_unstable_by(frequency_order);
         }
-        let encoded = compress::encode_postings(&list);
+        let encoded = codec.encode(&list);
         w.u32(encoded.len() as u32);
         w.bytes(&encoded);
     }
@@ -246,7 +267,8 @@ pub fn save_page_file(index: &InvertedIndex, path: &Path) -> Result<(), PersistE
         terms.push(TermPages { idf: e.idf, pages });
     }
     index.disk().reset_stats(); // export reads are not query reads
-    ir_storage::write_page_file(&terms, path).map_err(|e| match e {
+    ir_storage::write_page_file_with(&terms, path, index.codec_impl().as_ref()).map_err(|e| match e
+    {
         ir_storage::PageFileError::Io(io) => PersistError::Io(io),
         other => PersistError::Corrupt(other.to_string()),
     })
@@ -274,9 +296,9 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
         return Err(PersistError::Corrupt("bad magic".into()));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if version != VERSION_V1 && version != VERSION {
         return Err(PersistError::Corrupt(format!(
-            "unsupported version {version} (expected {VERSION})"
+            "unsupported version {version} (expected {VERSION_V1} or {VERSION})"
         )));
     }
     let n_docs = r.u32()?;
@@ -291,6 +313,24 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
             )))
         }
     };
+    // v1 predates the codec layer: golden payloads, no dictionary.
+    let (codec_id, dictionary) = if version == VERSION_V1 {
+        (compress::Codec::Golden, Vec::new())
+    } else {
+        let id = r.u8()?;
+        let codec_id = compress::Codec::from_id(id)
+            .ok_or_else(|| PersistError::Corrupt(format!("unknown codec id {id}")))?;
+        let dict_len = r.u32()? as usize;
+        if dict_len > MAX_DICT_LEN {
+            return Err(PersistError::Corrupt(format!(
+                "codec dictionary too large ({dict_len} bytes)"
+            )));
+        }
+        (codec_id, r.take(dict_len)?.to_vec())
+    };
+    let codec = codec_id
+        .build(&dictionary)
+        .map_err(|e| PersistError::Corrupt(format!("bad {codec_id} dictionary: {e}")))?;
     if n_docs == 0 || page_size == 0 {
         return Err(PersistError::Corrupt(
             "empty collection or zero page size".into(),
@@ -340,7 +380,8 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
         let term = TermId(t as u32);
         let len = r.u32()? as usize;
         let blob = r.take(len)?;
-        let mut postings = compress::decode_postings(bytes::Bytes::copy_from_slice(blob))
+        let mut postings = codec
+            .decode(bytes::Bytes::copy_from_slice(blob))
             .ok_or_else(|| PersistError::Corrupt(format!("term {t}: undecodable postings")))?;
         if postings.len() as u64 != n_postings {
             return Err(PersistError::Corrupt(format!(
@@ -394,6 +435,7 @@ pub fn load_index(path: &Path) -> Result<InvertedIndex, PersistError> {
         conversion,
         params,
         Arc::new(DiskSim::new(lists)),
+        codec,
         None,
         None,
     ))
@@ -541,6 +583,88 @@ mod tests {
             (total, buf.stats().misses)
         };
         assert_eq!(run(&idx), run(&loaded));
+    }
+
+    #[test]
+    fn every_codec_round_trips_through_bfir_and_bfpg() {
+        use ir_storage::{FileMode, FilePageStore, PageStore};
+        for codec in compress::Codec::ALL {
+            let mut b = IndexBuilder::new();
+            b.add_document(["stock", "price", "stock", "crash"]);
+            b.add_document(["price", "bond"]);
+            b.add_document(["stock"]);
+            b.add_document(["drought", "bond", "bond", "bond"]);
+            let idx = b
+                .build(BuildOptions {
+                    params: IndexParams::with_page_size(2),
+                    codec,
+                    ..BuildOptions::default()
+                })
+                .unwrap();
+            assert_eq!(idx.codec(), codec);
+
+            let path = tmpfile(&format!("codec_{}.idx", codec.id()));
+            save_index(&idx, &path).unwrap();
+            let loaded = load_index(&path).unwrap();
+            assert_eq!(loaded.codec(), codec, "codec id must survive BFIR");
+
+            let pf = tmpfile(&format!("codec_{}.bfpg", codec.id()));
+            save_page_file(&idx, &pf).unwrap();
+            let store = FilePageStore::open(&pf, FileMode::Buffered).unwrap();
+            assert_eq!(store.codec(), codec, "codec id must survive BFPG");
+            for (term, e) in idx.lexicon().iter() {
+                for p in 0..e.n_pages {
+                    let id = PageId::new(term, p);
+                    let a = idx.disk().read_page(id).unwrap();
+                    assert_eq!(
+                        a.postings(),
+                        loaded.disk().read_page(id).unwrap().postings()
+                    );
+                    assert_eq!(a.postings(), store.read_page(id).unwrap().postings());
+                }
+            }
+            idx.disk().reset_stats();
+            loaded.disk().reset_stats();
+        }
+    }
+
+    #[test]
+    fn v1_files_load_as_golden() {
+        // A v1 file is a v2 golden file minus the codec header (one id
+        // byte + u32 dictionary length; the golden dictionary is
+        // empty), with the version field set back to 1. Synthesizing
+        // one from a fresh save pins the exact layout shift.
+        let idx = sample_index();
+        assert_eq!(idx.codec(), compress::Codec::Golden);
+        let path = tmpfile("v1_synth.idx");
+        save_index(&idx, &path).unwrap();
+        let data = fs::read(&path).unwrap();
+        let codec_header = 4 + 4 + 4 + 4 + 8 + 1; // magic..ordering
+        let mut v1 = Vec::with_capacity(data.len() - 5);
+        v1.extend_from_slice(&data[..codec_header]);
+        v1.extend_from_slice(&data[codec_header + 5..data.len() - 8]);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let sum = fnv1a(&v1);
+        v1.extend_from_slice(&sum.to_le_bytes());
+        let v1_path = tmpfile("v1_synth_rewritten.idx");
+        fs::write(&v1_path, &v1).unwrap();
+
+        let loaded = load_index(&v1_path).unwrap();
+        assert_eq!(loaded.codec(), compress::Codec::Golden);
+        assert_eq!(loaded.n_docs(), idx.n_docs());
+        assert_eq!(loaded.total_postings(), idx.total_postings());
+        use ir_storage::PageStore;
+        for (term, e) in idx.lexicon().iter() {
+            for p in 0..e.n_pages {
+                let id = PageId::new(term, p);
+                assert_eq!(
+                    idx.disk().read_page(id).unwrap().postings(),
+                    loaded.disk().read_page(id).unwrap().postings()
+                );
+            }
+        }
+        idx.disk().reset_stats();
+        loaded.disk().reset_stats();
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod metrics;
 pub mod span;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, DECODE_NS_BOUNDS,
     DEFAULT_LATENCY_BOUNDS, IO_LATENCY_US_BOUNDS,
 };
 pub use span::{JsonlSink, MemorySink, NoopSink, Span, SpanKind, SpanRecord, SpanSink, Tracer};

@@ -98,6 +98,27 @@ pub const IO_LATENCY_US_BOUNDS: [u64; 12] = [
     4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 131_072, 262_144, 524_288, 1_048_576,
 ];
 
+/// Histogram bounds for posting-list decode times, **nanoseconds**:
+/// powers of four from 250 ns to ~16 ms. Decoding one ≈400-entry page
+/// takes well under a microsecond on modern hardware, so a µs grid
+/// would collapse every decode into the first bucket; per-codec
+/// decode histograms (`index.decode_ns.<codec>`) record nanoseconds
+/// and report layers convert to µs/entry.
+pub const DECODE_NS_BOUNDS: [u64; 12] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+];
+
 #[derive(Debug)]
 struct HistogramInner {
     /// Inclusive upper bounds of the first `bounds.len()` buckets; one

@@ -3,23 +3,33 @@
 //! (`pread`-style) reads.
 //!
 //! ```text
-//! "BFPG" magic | u32 version
+//! "BFPG" magic | u32 version (2)
+//! u8 codec id | u32 dict_len | dictionary bytes   (v2 only)
 //! u32 n_terms
 //! directory, per term:  u32 n_pages, f64 idf
 //!                       per page: u64 offset, u32 byte_len,
 //!                                 u32 n_postings, u64 checksum
 //! u64 FNV-1a over everything above
-//! payload:  per page, n_postings × (u32 doc, u32 freq), little-endian
+//! payload:  per page, `byte_len` codec-encoded bytes
 //! ```
+//!
+//! Version 2 encodes each page's postings with a pluggable
+//! [`ListCodec`] named in the header (plus its shared dictionary —
+//! the Re-Pair grammar travels with the file); version 1 files, which
+//! predate the codec layer and store raw little-endian
+//! `(u32 doc, u32 freq)` pairs, still open and are reported as
+//! [`Codec::Golden`].
 //!
 //! The directory (offsets, idfs, and the per-page checksums computed
 //! by [`Page::new`] at build time) is loaded into memory at open and
 //! guarded by its own FNV trailer; the payload is fetched on demand.
-//! Every delivered page is rebuilt with [`Page::new`] and its
-//! recomputed checksum compared against the stored one, so a short
-//! read, a truncated file, or a flipped payload bit surfaces as
-//! [`IrError::TornPage`] — the same retryable error the fault injector
-//! produces — never as a panic or a silently corrupt page.
+//! Every delivered page is decoded, rebuilt with [`Page::new`] and its
+//! recomputed checksum — computed over the *decoded* postings, so it
+//! is codec-independent — compared against the stored one. A short
+//! read, a truncated file, a flipped payload bit, or an undecodable
+//! payload surfaces as [`IrError::TornPage`] — the same retryable
+//! error the fault injector produces — never as a panic or a silently
+//! corrupt page.
 //!
 //! Two service modes ([`FileMode`]): `Buffered` issues one positioned
 //! read per page against the open file descriptor; `Resident` loads
@@ -33,17 +43,26 @@
 //! [`DiskSim`](crate::DiskSim)'s, which is what makes the zero-latency
 //! file backend event-for-event identical to the simulator.
 
+use crate::codec::{Codec, GoldenCodec, ListCodec};
 use crate::disk::{DiskStats, PageStore};
 use crate::page::Page;
+use bytes::Bytes;
 use ir_types::{IrError, IrResult, PageId, Posting, TermId};
 use parking_lot::Mutex;
 use std::fmt;
 use std::fs;
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"BFPG";
-const VERSION: u32 = 1;
+/// The raw-pair format that predates the codec layer.
+const VERSION_V1: u32 = 1;
+/// The codec-encoded format written by [`write_page_file_with`].
+const VERSION: u32 = 2;
+/// Sanity ceiling on the persisted dictionary (a full Re-Pair grammar
+/// is ~2 KiB); larger claims are treated as corruption, not allocated.
+const MAX_DICT_LEN: usize = 1 << 20;
 
 /// Errors from writing or opening a page file.
 #[derive(Debug)]
@@ -95,18 +114,74 @@ pub struct TermPages {
     pub pages: Vec<Page>,
 }
 
-/// Serializes `terms` (index = term id) to `path` as a `BFPG` page
-/// file, atomically (temp file + rename).
+/// Serializes `terms` (index = term id) to `path` as a `BFPG` v2 page
+/// file with the golden codec, atomically (temp file + rename).
 pub fn write_page_file(terms: &[TermPages], path: &Path) -> Result<(), PageFileError> {
-    // Layout: header + directory size is computable up front, so every
-    // page's absolute offset is known before any payload is written.
-    let header_len = 4 + 4 + 4;
+    write_page_file_with(terms, path, &GoldenCodec)
+}
+
+/// Serializes `terms` (index = term id) to `path` as a `BFPG` v2 page
+/// file, each page's postings encoded by `codec` and the codec's
+/// dictionary persisted in the header, atomically (temp file +
+/// rename).
+pub fn write_page_file_with(
+    terms: &[TermPages],
+    path: &Path,
+    codec: &dyn ListCodec,
+) -> Result<(), PageFileError> {
+    // Encode every page first so each payload length — and therefore
+    // every page's absolute offset — is known before the directory is
+    // written.
+    let encoded: Vec<Vec<Bytes>> = terms
+        .iter()
+        .map(|t| t.pages.iter().map(|p| codec.encode(p.postings())).collect())
+        .collect();
+    let dictionary = codec.dictionary();
+    let header_len = 4 + 4 + 1 + 4 + dictionary.len() + 4;
     let dir_len: usize = terms.iter().map(|t| 4 + 8 + t.pages.len() * 24).sum();
     let mut offset = (header_len + dir_len + 8) as u64;
 
     let mut buf = Vec::with_capacity(offset as usize);
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(codec.id().id());
+    buf.extend_from_slice(&(dictionary.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&dictionary);
+    buf.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+    for (t, pages) in terms.iter().zip(&encoded) {
+        buf.extend_from_slice(&(t.pages.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&t.idf.to_le_bytes());
+        for (page, payload) in t.pages.iter().zip(pages) {
+            let byte_len = payload.len() as u32;
+            buf.extend_from_slice(&offset.to_le_bytes());
+            buf.extend_from_slice(&byte_len.to_le_bytes());
+            buf.extend_from_slice(&(page.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&page.checksum().to_le_bytes());
+            offset += u64::from(byte_len);
+        }
+    }
+    let trailer = fnv1a(&buf);
+    buf.extend_from_slice(&trailer.to_le_bytes());
+    for pages in &encoded {
+        for payload in pages {
+            buf.extend_from_slice(payload);
+        }
+    }
+    write_atomically(&buf, path)
+}
+
+/// Serializes `terms` in the **version 1** layout (raw little-endian
+/// posting pairs, no codec header) — the format this crate wrote
+/// before the codec layer existed. Kept so back-compat tests can
+/// manufacture pre-upgrade files; new files are always v2.
+pub fn write_page_file_v1(terms: &[TermPages], path: &Path) -> Result<(), PageFileError> {
+    let header_len = 4 + 4 + 4;
+    let dir_len: usize = terms.iter().map(|t| 4 + 8 + t.pages.len() * 24).sum();
+    let mut offset = (header_len + dir_len + 8) as u64;
+
+    let mut buf = Vec::with_capacity(offset as usize);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION_V1.to_le_bytes());
     buf.extend_from_slice(&(terms.len() as u32).to_le_bytes());
     for t in terms {
         buf.extend_from_slice(&(t.pages.len() as u32).to_le_bytes());
@@ -130,11 +205,14 @@ pub fn write_page_file(terms: &[TermPages], path: &Path) -> Result<(), PageFileE
             }
         }
     }
+    write_atomically(&buf, path)
+}
 
+fn write_atomically(buf: &[u8], path: &Path) -> Result<(), PageFileError> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(&buf)?;
+        f.write_all(buf)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -181,14 +259,29 @@ struct FileState {
 /// Thread-safe: reads are serialized through the state mutex — one
 /// head, like the device being modeled — which also keeps the
 /// stats-update order identical to the read order.
-#[derive(Debug)]
 pub struct FilePageStore {
     file: fs::File,
     /// `Some` in [`FileMode::Resident`].
     image: Option<Vec<u8>>,
     dir: Vec<TermDir>,
     mode: FileMode,
+    /// The on-disk format version (1 = raw pairs, 2 = codec payloads).
+    version: u32,
+    /// Decoder for v2 payloads; v1 files get [`GoldenCodec`] so
+    /// [`FilePageStore::codec`] always names a codec.
+    codec: Arc<dyn ListCodec>,
     state: Mutex<FileState>,
+}
+
+impl fmt::Debug for FilePageStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilePageStore")
+            .field("mode", &self.mode)
+            .field("version", &self.version)
+            .field("codec", &self.codec.id())
+            .field("n_terms", &self.dir.len())
+            .finish()
+    }
 }
 
 /// Positioned read. On unix this is a true `pread` (no shared cursor);
@@ -214,26 +307,55 @@ impl FilePageStore {
     /// whole payload image).
     pub fn open(path: &Path, mode: FileMode) -> Result<Self, PageFileError> {
         let mut file = fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
         let mut head = Vec::new();
         let mut take = |n: usize, head: &mut Vec<u8>| -> Result<usize, PageFileError> {
             let start = head.len();
+            // Sizes here come from the (not yet verified) directory
+            // itself — bound them by the file before allocating, so a
+            // corrupt count is an error, not a giant zeroed buffer.
+            if (start + n) as u64 > file_len {
+                return Err(PageFileError::Corrupt(format!(
+                    "directory claims {n} bytes at {start}, file has {file_len}"
+                )));
+            }
             head.resize(start + n, 0);
             file.read_exact(&mut head[start..]).map_err(|e| {
                 PageFileError::Corrupt(format!("truncated directory at byte {start}: {e}"))
             })?;
             Ok(start)
         };
-        let at = take(12, &mut head)?;
+        let at = take(8, &mut head)?;
         if &head[at..at + 4] != MAGIC {
             return Err(PageFileError::Corrupt("bad magic".into()));
         }
         let version = u32::from_le_bytes(head[at + 4..at + 8].try_into().unwrap());
-        if version != VERSION {
-            return Err(PageFileError::Corrupt(format!(
-                "unsupported version {version} (expected {VERSION})"
-            )));
-        }
-        let n_terms = u32::from_le_bytes(head[at + 8..at + 12].try_into().unwrap()) as usize;
+        let (codec_id, dictionary) = match version {
+            // v1 predates the codec layer: raw pairs, golden geometry.
+            VERSION_V1 => (Codec::Golden, Vec::new()),
+            VERSION => {
+                let at = take(5, &mut head)?;
+                let id = head[at];
+                let codec_id = Codec::from_id(id)
+                    .ok_or_else(|| PageFileError::Corrupt(format!("unknown codec id {id}")))?;
+                let dict_len =
+                    u32::from_le_bytes(head[at + 1..at + 5].try_into().unwrap()) as usize;
+                if dict_len > MAX_DICT_LEN {
+                    return Err(PageFileError::Corrupt(format!(
+                        "dictionary claims {dict_len} bytes (max {MAX_DICT_LEN})"
+                    )));
+                }
+                let at = take(dict_len, &mut head)?;
+                (codec_id, head[at..at + dict_len].to_vec())
+            }
+            v => {
+                return Err(PageFileError::Corrupt(format!(
+                    "unsupported version {v} (expected {VERSION_V1} or {VERSION})"
+                )))
+            }
+        };
+        let at = take(4, &mut head)?;
+        let n_terms = u32::from_le_bytes(head[at..at + 4].try_into().unwrap()) as usize;
         let mut dir = Vec::with_capacity(n_terms);
         for _ in 0..n_terms {
             let at = take(12, &mut head)?;
@@ -263,6 +385,11 @@ impl FilePageStore {
                 "directory checksum mismatch (stored {stored:#x}, computed {computed:#x})"
             )));
         }
+        // Only now that the trailer has vouched for the header bytes is
+        // the dictionary worth parsing.
+        let codec = codec_id
+            .build(&dictionary)
+            .map_err(|e| PageFileError::Corrupt(format!("bad {codec_id} dictionary: {e}")))?;
         let image = match mode {
             FileMode::Buffered => None,
             FileMode::Resident => {
@@ -279,6 +406,8 @@ impl FilePageStore {
             image,
             dir,
             mode,
+            version,
+            codec,
             state: Mutex::new(FileState::default()),
         })
     }
@@ -286,6 +415,17 @@ impl FilePageStore {
     /// Which service mode the store was opened in.
     pub fn mode(&self) -> FileMode {
         self.mode
+    }
+
+    /// The codec the payload is encoded with (v1 files report
+    /// [`Codec::Golden`]).
+    pub fn codec(&self) -> Codec {
+        self.codec.id()
+    }
+
+    /// The on-disk format version (1 = raw pairs, 2 = codec payloads).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Total pages across all lists.
@@ -327,7 +467,12 @@ impl FilePageStore {
         let (term, d) = self.entry(id)?;
         let torn = || IrError::TornPage { page: id };
         let len = d.byte_len as usize;
-        if d.n_postings == 0 || len != d.n_postings as usize * 8 {
+        if d.n_postings == 0 || len == 0 {
+            return Err(torn());
+        }
+        // v1 stores fixed-size raw pairs, so the length is checkable
+        // before the read; codec payloads validate during decode.
+        if self.version == VERSION_V1 && len != d.n_postings as usize * 8 {
             return Err(torn());
         }
         let mut buf = vec![0u8; len];
@@ -342,15 +487,25 @@ impl FilePageStore {
             }
             None => pread(&self.file, &mut buf, d.offset).map_err(|_| torn())?,
         }
-        let postings: Vec<Posting> = buf
-            .chunks_exact(8)
-            .map(|c| {
-                Posting::new(
-                    u32::from_le_bytes(c[0..4].try_into().unwrap()),
-                    u32::from_le_bytes(c[4..8].try_into().unwrap()),
-                )
-            })
-            .collect();
+        let postings: Vec<Posting> = if self.version == VERSION_V1 {
+            buf.chunks_exact(8)
+                .map(|c| {
+                    Posting::new(
+                        u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                        u32::from_le_bytes(c[4..8].try_into().unwrap()),
+                    )
+                })
+                .collect()
+        } else {
+            let mut out = Vec::new();
+            if !self.codec.decode_into(Bytes::from(buf), &mut out) {
+                return Err(torn());
+            }
+            out
+        };
+        if postings.len() != d.n_postings as usize {
+            return Err(torn());
+        }
         let page = Page::new(id, postings.into(), term.idf);
         // `Page::new` recomputed the content checksum from what was
         // actually delivered; the directory holds the build-time one.
@@ -434,8 +589,10 @@ mod tests {
                 idf: f64::from(t + 1) * 0.5,
                 pages: (0..pages_per_term)
                     .map(|p| {
+                        // Frequency-sorted within the page (f desc, d
+                        // asc), like every page the builder cuts.
                         let postings: Vec<Posting> = (0..=p)
-                            .map(|d| Posting::new(d, pages_per_term - p + d))
+                            .map(|d| Posting::new(d, pages_per_term + p - d))
                             .collect();
                         Page::new(
                             PageId::new(TermId(t), p),
@@ -586,8 +743,9 @@ mod tests {
         let path = tmpfile("dir.bfpg");
         write_page_file(&terms, &path).unwrap();
         let original = fs::read(&path).unwrap();
-        // Directory region: header through its trailer.
-        let dir_end = 12 + 2 * (12 + 2 * 24) + 8;
+        // Directory region: v2 header (magic+version+codec+dict_len,
+        // empty golden dictionary, n_terms) through its trailer.
+        let dir_end = 17 + 2 * (12 + 2 * 24) + 8;
         for offset in [0, 5, 13, 20, dir_end - 4] {
             let mut bad = original.clone();
             bad[offset] ^= 0x5a;
@@ -617,5 +775,103 @@ mod tests {
         write_page_file(&terms, &path).unwrap();
         let store = FilePageStore::open(&path, FileMode::Buffered).unwrap();
         assert!(!store.can_tear(), "damage is an Err, not a torn delivery");
+    }
+
+    #[test]
+    fn v1_files_open_as_golden_and_serve_identically() {
+        let terms = sample_terms(3, 4);
+        let v1 = tmpfile("legacy_v1.bfpg");
+        let v2 = tmpfile("legacy_v2.bfpg");
+        write_page_file_v1(&terms, &v1).unwrap();
+        write_page_file(&terms, &v2).unwrap();
+        for mode in [FileMode::Buffered, FileMode::Resident] {
+            let old = FilePageStore::open(&v1, mode).unwrap();
+            let new = FilePageStore::open(&v2, mode).unwrap();
+            assert_eq!(old.version(), 1);
+            assert_eq!(new.version(), 2);
+            assert_eq!(old.codec(), Codec::Golden);
+            assert_eq!(new.codec(), Codec::Golden);
+            for t in 0..3u32 {
+                for p in 0..4u32 {
+                    let a = old.read_page(pid(t, p)).unwrap();
+                    let b = new.read_page(pid(t, p)).unwrap();
+                    assert_eq!(a.postings(), b.postings());
+                    assert_eq!(a.checksum(), b.checksum());
+                }
+            }
+            assert_eq!(old.stats(), new.stats());
+        }
+    }
+
+    #[test]
+    fn every_codec_round_trips_through_the_page_file() {
+        let terms = sample_terms(2, 3);
+        for codec_id in Codec::ALL {
+            let codec: std::sync::Arc<dyn ListCodec> = match codec_id {
+                Codec::RePair => {
+                    let lists: Vec<Vec<Posting>> = terms
+                        .iter()
+                        .flat_map(|t| t.pages.iter().map(|p| p.postings().to_vec()))
+                        .collect();
+                    std::sync::Arc::new(crate::codec::RePairCodec::train(
+                        lists.iter().map(|l| l.as_slice()),
+                    ))
+                }
+                other => other.build(&[]).unwrap(),
+            };
+            let path = tmpfile(&format!("codec_{}.bfpg", codec_id.id()));
+            write_page_file_with(&terms, &path, codec.as_ref()).unwrap();
+            for mode in [FileMode::Buffered, FileMode::Resident] {
+                let store = FilePageStore::open(&path, mode).unwrap();
+                assert_eq!(store.codec(), codec_id, "{mode:?}");
+                for (t, term) in terms.iter().enumerate() {
+                    for (p, original) in term.pages.iter().enumerate() {
+                        let got = store.read_page(pid(t as u32, p as u32)).unwrap();
+                        assert_eq!(got.postings(), original.postings(), "{codec_id}");
+                        assert_eq!(got.checksum(), original.checksum(), "{codec_id}");
+                        assert_eq!(
+                            got.max_weight().to_bits(),
+                            original.max_weight().to_bits(),
+                            "{codec_id}: RAP's value input must survive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_codec_id_and_bad_dictionary_are_rejected_at_open() {
+        let terms = sample_terms(1, 1);
+        let path = tmpfile("codec_hdr.bfpg");
+        write_page_file(&terms, &path).unwrap();
+        let original = fs::read(&path).unwrap();
+
+        // Byte 8 is the codec id; 9 is a junk id. The trailer guards
+        // the header, so patch it back up to reach the codec check.
+        let mut bad = original.clone();
+        bad[8] = 9;
+        let dir_end = 17 + (12 + 24);
+        let trailer = fnv1a(&bad[..dir_end]);
+        bad[dir_end..dir_end + 8].copy_from_slice(&trailer.to_le_bytes());
+        let p = tmpfile("codec_hdr_bad_id.bfpg");
+        fs::write(&p, &bad).unwrap();
+        match FilePageStore::open(&p, FileMode::Buffered) {
+            Err(PageFileError::Corrupt(msg)) => assert!(msg.contains("unknown codec"), "{msg}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+
+        // A Re-Pair id whose dictionary bytes are garbage (claimed
+        // empty dict for re-pair is a truncated grammar header).
+        let mut bad = original;
+        bad[8] = Codec::RePair.id();
+        let trailer = fnv1a(&bad[..dir_end]);
+        bad[dir_end..dir_end + 8].copy_from_slice(&trailer.to_le_bytes());
+        let p = tmpfile("codec_hdr_bad_dict.bfpg");
+        fs::write(&p, &bad).unwrap();
+        match FilePageStore::open(&p, FileMode::Buffered) {
+            Err(PageFileError::Corrupt(msg)) => assert!(msg.contains("dictionary"), "{msg}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod backend;
 pub mod buffer;
+pub mod codec;
 pub mod disk;
 pub mod fault;
 pub mod observe;
@@ -40,10 +41,14 @@ pub mod shared;
 pub mod stats;
 
 pub use backend::{
-    write_page_file, FileMode, FilePageStore, IoConfig, IoMetrics, IoScheduler, LatencyModel,
-    PageFileError, TermPages,
+    write_page_file, write_page_file_v1, write_page_file_with, FileMode, FilePageStore, IoConfig,
+    IoMetrics, IoScheduler, LatencyModel, PageFileError, TermPages,
 };
 pub use buffer::{Backoff, BufferManager, FetchOutcome, FetchPolicy};
+pub use codec::{
+    BulkVByteCodec, Codec, CodecStats, CompressionStats, GoldenCodec, ListCodec, RePairCodec,
+    RePairGrammar,
+};
 pub use disk::{DiskSim, DiskStats, PageStore};
 pub use fault::{FaultConfig, FaultStats, FaultStore};
 pub use observe::{BufferEvent, BufferObserver, EventCounts, EventLog};

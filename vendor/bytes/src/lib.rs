@@ -32,6 +32,13 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends one byte.
     fn put_u8(&mut self, byte: u8);
+
+    /// Appends a slice.
+    fn put_slice(&mut self, slice: &[u8]) {
+        for &byte in slice {
+            self.put_u8(byte);
+        }
+    }
 }
 
 /// Cheaply cloneable immutable byte buffer.
@@ -151,6 +158,11 @@ impl BytesMut {
         self.vec.is_empty()
     }
 
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
     /// Converts into an immutable buffer.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
@@ -160,6 +172,10 @@ impl BytesMut {
 impl BufMut for BytesMut {
     fn put_u8(&mut self, byte: u8) {
         self.vec.push(byte);
+    }
+
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.vec.extend_from_slice(slice);
     }
 }
 
